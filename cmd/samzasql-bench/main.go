@@ -1,0 +1,97 @@
+// Command samzasql-bench regenerates the paper's evaluation (§5): for every
+// figure it runs the native and SamzaSQL implementations across the
+// container sweep and prints the measured series, plus the usability
+// (lines-of-code) comparison. Example:
+//
+//	samzasql-bench -figure all -messages 200000
+//	samzasql-bench -figure 5c -containers 1,2,4,8
+//	samzasql-bench -figure loc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"samzasql/internal/bench"
+)
+
+func main() {
+	var (
+		figure     = flag.String("figure", "all", "figure to regenerate: 5a, 5b, 5c, 6, loc or all")
+		messages   = flag.Int("messages", 200_000, "orders messages per run")
+		partitions = flag.Int("partitions", 32, "partitions per topic (paper: 32)")
+		products   = flag.Int("products", 100, "products relation cardinality")
+		containers = flag.String("containers", "", "comma-separated container counts (default: per-figure sweep)")
+		check      = flag.Bool("check", false, "verify the measured shape matches the paper and exit non-zero otherwise")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Messages = *messages
+	cfg.Partitions = int32(*partitions)
+	cfg.Products = *products
+
+	var sweep []int
+	if *containers != "" {
+		for _, part := range strings.Split(*containers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fatalf("bad -containers value %q", part)
+			}
+			sweep = append(sweep, n)
+		}
+	}
+
+	failed := false
+	runOne := func(spec bench.FigureSpec) {
+		if len(sweep) > 0 {
+			spec.Containers = sweep
+		}
+		rows, err := bench.RunFigure(spec, cfg)
+		if err != nil {
+			fatalf("figure %s: %v", spec.ID, err)
+		}
+		fmt.Println(bench.FormatFigure(spec, rows))
+		if *check {
+			for _, v := range bench.CheckShape(spec, rows) {
+				fmt.Fprintf(os.Stderr, "SHAPE MISMATCH (figure %s): %s\n", spec.ID, v)
+				failed = true
+			}
+		}
+	}
+
+	switch *figure {
+	case "all":
+		for _, spec := range bench.Figures {
+			runOne(spec)
+		}
+		printLOC()
+	case "loc":
+		printLOC()
+	default:
+		spec, ok := bench.FigureByID(*figure)
+		if !ok {
+			fatalf("unknown figure %q (want 5a, 5b, 5c, 6, loc or all)", *figure)
+		}
+		runOne(spec)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func printLOC() {
+	rows, err := bench.LOCTable()
+	if err != nil {
+		fatalf("loc table: %v", err)
+	}
+	fmt.Println(bench.FormatLOC(rows))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "samzasql-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

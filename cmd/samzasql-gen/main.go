@@ -1,0 +1,129 @@
+// Command samzasql-gen generates the §5.1 synthetic evaluation workload:
+// 100-byte Avro Orders records, the Products relation, and the correlated
+// PacketsR1/R2 streams. Records are written as JSON lines (for inspection)
+// or length-prefixed Avro binary frames (for replay into a broker).
+//
+//	samzasql-gen -stream orders -count 10 -format json
+//	samzasql-gen -stream products -count 100 -format avro -out products.bin
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"samzasql/internal/avro"
+	"samzasql/internal/kafka"
+	"samzasql/internal/workload"
+)
+
+func main() {
+	var (
+		stream  = flag.String("stream", "orders", "stream to generate: orders, products, packets-r1, packets-r2")
+		count   = flag.Int("count", 10, "records to generate")
+		format  = flag.String("format", "json", "output format: json or avro")
+		outPath = flag.String("out", "-", "output file (default stdout)")
+		seed    = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	var (
+		codec *avro.Codec
+		next  func() ([]byte, error)
+	)
+	switch *stream {
+	case "orders":
+		cfg := workload.DefaultOrdersConfig()
+		cfg.Seed = *seed
+		gen := workload.NewOrdersGen(cfg)
+		codec = gen.Codec()
+		next = func() ([]byte, error) {
+			_, _, value, err := gen.Next()
+			return value, err
+		}
+	case "products":
+		codec = avro.MustCodec(workload.ProductsSchema())
+		id := 0
+		next = func() ([]byte, error) {
+			row := []any{int64(id), fmt.Sprintf("product-%d", id), int64(id % 10)}
+			id++
+			return codec.EncodeRow(row)
+		}
+	case "packets-r1", "packets-r2":
+		// Generate through a scratch broker so R1/R2 stay correlated.
+		b := kafka.NewBroker()
+		cfg := workload.DefaultPacketsConfig()
+		cfg.Seed = *seed
+		if err := workload.ProducePackets(b, "packets-r1", "packets-r2", 1, *count, cfg); err != nil {
+			fatalf("%v", err)
+		}
+		name := "PacketsR1"
+		if *stream == "packets-r2" {
+			name = "PacketsR2"
+		}
+		codec = avro.MustCodec(workload.PacketsSchema(name))
+		tp := kafka.TopicPartition{Topic: *stream, Partition: 0}
+		off := int64(0)
+		next = func() ([]byte, error) {
+			msgs, _, err := b.Fetch(tp, off, 1)
+			if err != nil || len(msgs) == 0 {
+				return nil, fmt.Errorf("exhausted packets stream")
+			}
+			off = msgs[0].Offset + 1
+			return msgs[0].Value, nil
+		}
+	default:
+		fatalf("unknown stream %q", *stream)
+	}
+
+	for i := 0; i < *count; i++ {
+		value, err := next()
+		if err != nil {
+			fatalf("generate: %v", err)
+		}
+		switch *format {
+		case "json":
+			rec, err := codec.Decode(value)
+			if err != nil {
+				fatalf("decode: %v", err)
+			}
+			line, err := json.Marshal(rec)
+			if err != nil {
+				fatalf("marshal: %v", err)
+			}
+			fmt.Fprintf(w, "%s\n", line)
+		case "avro":
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(value)))
+			if _, err := w.Write(hdr[:]); err != nil {
+				fatalf("write: %v", err)
+			}
+			if _, err := w.Write(value); err != nil {
+				fatalf("write: %v", err)
+			}
+		default:
+			fatalf("unknown format %q", *format)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "samzasql-gen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module samzasql
+
+go 1.22

@@ -1,0 +1,338 @@
+package avro
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func ordersSchema() *Schema {
+	return Record("Orders",
+		F("rowtime", Long()),
+		F("productId", Long()),
+		F("orderId", Long()),
+		F("units", Long()),
+		F("pad", String()),
+	)
+}
+
+func TestEncodeDecodeRoundTripMap(t *testing.T) {
+	c := MustCodec(ordersSchema())
+	in := map[string]any{
+		"rowtime":   int64(1700000000000),
+		"productId": int64(42),
+		"orderId":   int64(7),
+		"units":     int64(100),
+		"pad":       "xxxx",
+	}
+	b, err := c.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %v\nout: %v", in, out)
+	}
+}
+
+func TestEncodeDecodeRowRoundTrip(t *testing.T) {
+	c := MustCodec(ordersSchema())
+	row := []any{int64(1), int64(2), int64(3), int64(4), "p"}
+	b, err := c.EncodeRow(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.DecodeRow(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(row, got) {
+		t.Fatalf("row round trip mismatch: %v vs %v", row, got)
+	}
+	// Reuse path.
+	reuse := make([]any, 5)
+	got2, err := c.DecodeRow(b, reuse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(row, got2) {
+		t.Fatalf("reused row mismatch: %v", got2)
+	}
+}
+
+func TestAllPrimitiveKinds(t *testing.T) {
+	s := Record("All",
+		F("b", Boolean()),
+		F("i", Int()),
+		F("l", Long()),
+		F("f", Float()),
+		F("d", Double()),
+		F("s", String()),
+		F("y", Bytes()),
+		F("n", Null()),
+	)
+	c := MustCodec(s)
+	in := map[string]any{
+		"b": true,
+		"i": int64(-5),
+		"l": int64(math.MaxInt64),
+		"f": 1.5,
+		"d": -2.25,
+		"s": "héllo",
+		"y": []byte{0, 1, 2},
+		"n": nil,
+	}
+	b, err := c.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["b"] != true || out["i"].(int64) != -5 || out["l"].(int64) != math.MaxInt64 {
+		t.Fatalf("bad ints: %v", out)
+	}
+	if out["f"].(float64) != 1.5 || out["d"].(float64) != -2.25 {
+		t.Fatalf("bad floats: %v", out)
+	}
+	if out["s"].(string) != "héllo" || !reflect.DeepEqual(out["y"], []byte{0, 1, 2}) || out["n"] != nil {
+		t.Fatalf("bad string/bytes/null: %v", out)
+	}
+}
+
+func TestNullableFields(t *testing.T) {
+	s := Record("N", F("a", Long().AsNullable()), F("b", String().AsNullable()))
+	c := MustCodec(s)
+	for _, in := range []map[string]any{
+		{"a": int64(5), "b": "x"},
+		{"a": nil, "b": "x"},
+		{"a": int64(5), "b": nil},
+		{"a": nil, "b": nil},
+	} {
+		b, err := c.Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("nullable mismatch: %v vs %v", in, out)
+		}
+	}
+	// Missing nullable field encodes as null.
+	b, err := c.Encode(map[string]any{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := c.Decode(b)
+	if out["a"] != nil || out["b"] != nil {
+		t.Fatalf("missing nullable fields: %v", out)
+	}
+}
+
+func TestNonNullableRejectsNil(t *testing.T) {
+	c := MustCodec(Record("R", F("a", Long())))
+	if _, err := c.Encode(map[string]any{"a": nil}); err == nil {
+		t.Fatal("nil accepted for non-nullable long")
+	}
+	if _, err := c.Encode(map[string]any{}); err == nil {
+		t.Fatal("missing non-nullable field accepted")
+	}
+}
+
+func TestCollections(t *testing.T) {
+	s := Record("C",
+		F("tags", Array(String())),
+		F("attrs", Map(Long())),
+		F("inner", Record("Inner", F("x", Long()))),
+	)
+	c := MustCodec(s)
+	in := map[string]any{
+		"tags":  []any{"a", "b", "c"},
+		"attrs": map[string]any{"k1": int64(1), "k2": int64(2)},
+		"inner": map[string]any{"x": int64(9)},
+	}
+	b, err := c.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("collections mismatch:\n in: %v\nout: %v", in, out)
+	}
+	// Empty collections.
+	in2 := map[string]any{"tags": []any{}, "attrs": map[string]any{}, "inner": map[string]any{"x": int64(0)}}
+	b2, err := c.Encode(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := c.Decode(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in2, out2) {
+		t.Fatalf("empty collections mismatch: %v vs %v", in2, out2)
+	}
+}
+
+func TestReadFieldWithoutFullDecode(t *testing.T) {
+	c := MustCodec(ordersSchema())
+	b, err := c.EncodeRow([]any{int64(111), int64(222), int64(333), int64(444), "padpad"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int64{
+		"rowtime": 111, "productId": 222, "orderId": 333, "units": 444,
+	} {
+		v, err := c.ReadField(b, name)
+		if err != nil {
+			t.Fatalf("ReadField(%s): %v", name, err)
+		}
+		if v.(int64) != want {
+			t.Fatalf("ReadField(%s) = %v, want %d", name, v, want)
+		}
+	}
+	if s, err := c.ReadField(b, "pad"); err != nil || s.(string) != "padpad" {
+		t.Fatalf("ReadField(pad) = %v, %v", s, err)
+	}
+	if _, err := c.ReadField(b, "missing"); err == nil {
+		t.Fatal("ReadField on unknown field succeeded")
+	}
+}
+
+func TestProjectFields(t *testing.T) {
+	in := MustCodec(ordersSchema())
+	outSchema := Record("Projected",
+		F("rowtime", Long()),
+		F("productId", Long()),
+		F("units", Long()),
+	)
+	out := MustCodec(outSchema)
+	b, err := in.EncodeRow([]any{int64(1), int64(2), int64(3), int64(4), "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := in.ProjectFields(b, []string{"rowtime", "productId", "units"}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := out.Decode(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec["rowtime"].(int64) != 1 || rec["productId"].(int64) != 2 || rec["units"].(int64) != 4 {
+		t.Fatalf("projected record %v", rec)
+	}
+}
+
+func TestTruncatedPayload(t *testing.T) {
+	c := MustCodec(ordersSchema())
+	b, _ := c.EncodeRow([]any{int64(1), int64(2), int64(3), int64(4), "hello world"})
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := c.Decode(b[:cut]); err == nil {
+			t.Fatalf("truncated payload at %d decoded cleanly", cut)
+		}
+	}
+	_ = errors.Is // keep errors imported for future checks
+}
+
+func TestParseSchemaJSON(t *testing.T) {
+	doc := `{
+	  "type": "record", "name": "Orders",
+	  "fields": [
+	    {"name": "rowtime", "type": "long"},
+	    {"name": "productId", "type": "long"},
+	    {"name": "note", "type": ["null", "string"]},
+	    {"name": "tags", "type": {"type": "array", "items": "string"}},
+	    {"name": "attrs", "type": {"type": "map", "values": "long"}},
+	    {"name": "inner", "type": {"type": "record", "name": "Inner",
+	        "fields": [{"name": "x", "type": "double"}]}}
+	  ]
+	}`
+	s, err := ParseSchema([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != KindRecord || s.Name != "Orders" || len(s.Fields) != 6 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if !s.Fields[2].Schema.Nullable || s.Fields[2].Schema.Kind != KindString {
+		t.Fatalf("nullable union field parsed as %+v", s.Fields[2].Schema)
+	}
+	if s.Fields[3].Schema.Kind != KindArray || s.Fields[3].Schema.Items.Kind != KindString {
+		t.Fatalf("array field parsed as %+v", s.Fields[3].Schema)
+	}
+	if s.Fields[5].Schema.Kind != KindRecord || s.Fields[5].Schema.Fields[0].Schema.Kind != KindDouble {
+		t.Fatalf("nested record parsed as %+v", s.Fields[5].Schema)
+	}
+}
+
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	s := Record("R",
+		F("a", Long()),
+		F("b", String().AsNullable()),
+		F("c", Array(Double())),
+	)
+	doc, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSchema(doc)
+	if err != nil {
+		t.Fatalf("reparse %s: %v", doc, err)
+	}
+	if back.Name != "R" || len(back.Fields) != 3 || !back.Fields[1].Schema.Nullable {
+		t.Fatalf("round-tripped schema %+v", back)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	for _, doc := range []string{
+		`"frob"`,
+		`{"type":"record","fields":[]}`, // no name
+		`["string","null"]`,             // union not null-first
+		`["null","string","long"]`,      // 3-branch union
+		`{"type":"record","name":"R","fields":[{"name":"a","type":"frob"}]}`,
+	} {
+		if _, err := ParseSchema([]byte(doc)); err == nil {
+			t.Errorf("ParseSchema(%s) succeeded", doc)
+		}
+	}
+}
+
+func TestValidateRejectsDuplicateFields(t *testing.T) {
+	s := Record("R", F("a", Long()), F("a", String()))
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate fields: %v", err)
+	}
+	if _, err := NewCodec(Long()); err == nil {
+		t.Fatal("codec accepted non-record schema")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, -1, 1, -2, 2, math.MaxInt64, math.MinInt64} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Fatalf("zigzag(%d) round-tripped to %d", v, got)
+		}
+	}
+	// Avro convention: small magnitudes use few bytes.
+	if got := zigzag(-1); got != 1 {
+		t.Fatalf("zigzag(-1) = %d, want 1", got)
+	}
+	if got := zigzag(1); got != 2 {
+		t.Fatalf("zigzag(1) = %d, want 2", got)
+	}
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"testing"
+)
+
+// smallConfig keeps unit-test runs quick; the figure benchmarks in the repo
+// root use larger message counts.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Messages = 4000
+	cfg.Partitions = 8
+	return cfg
+}
+
+func TestNativeTasksProduceCorrectResults(t *testing.T) {
+	for _, q := range []string{"filter", "project", "join", "window"} {
+		res, err := RunNative(q, smallConfig())
+		if err != nil {
+			t.Fatalf("native %s: %v", q, err)
+		}
+		if res.Messages != 4000 || res.Throughput <= 0 {
+			t.Fatalf("native %s result %+v", q, res)
+		}
+	}
+}
+
+func TestSQLTasksRun(t *testing.T) {
+	for _, q := range []string{"filter", "project", "join", "window"} {
+		res, err := RunSQL(q, smallConfig())
+		if err != nil {
+			t.Fatalf("samzasql %s: %v", q, err)
+		}
+		if res.Throughput <= 0 {
+			t.Fatalf("samzasql %s result %+v", q, res)
+		}
+	}
+}
+
+func TestNativeAndSQLAgreeOnFilterOutput(t *testing.T) {
+	// Correctness cross-check: run both and compare output counts.
+	cfg := smallConfig()
+	nat, err := RunNative("filter", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := RunSQL("filter", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat.Messages != sql.Messages {
+		t.Fatalf("processed counts differ: %d vs %d", nat.Messages, sql.Messages)
+	}
+}
+
+func TestFilterPerformanceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf shape check skipped in -short mode")
+	}
+	cfg := smallConfig()
+	cfg.Messages = 30_000
+	nat, err := RunNative("filter", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := RunSQL("filter", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := sql.Throughput / nat.Throughput
+	t.Logf("filter: native %.0f msg/s, samzasql %.0f msg/s, ratio %.2f", nat.Throughput, sql.Throughput, ratio)
+	if ratio >= 1.0 {
+		t.Errorf("SamzaSQL filter (%.0f) faster than native (%.0f); transformation overhead missing", sql.Throughput, nat.Throughput)
+	}
+}
+
+func TestFigureSpecsComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range Figures {
+		if _, ok := Queries[f.Query]; !ok {
+			t.Errorf("figure %s references unknown query %q", f.ID, f.Query)
+		}
+		seen[f.ID] = true
+	}
+	for _, id := range []string{"5a", "5b", "5c", "6"} {
+		if !seen[id] {
+			t.Errorf("figure %s missing", id)
+		}
+	}
+	if _, ok := FigureByID("5a"); !ok {
+		t.Error("FigureByID(5a) failed")
+	}
+	if _, ok := FigureByID("nope"); ok {
+		t.Error("FigureByID(nope) succeeded")
+	}
+}
+
+func TestLOCTable(t *testing.T) {
+	rows, err := LOCTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byQuery := map[string]LOCRow{}
+	for _, r := range rows {
+		byQuery[r.Query] = r
+		if r.SQLLines <= 0 || r.TaskLines <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+		if r.SQLLines >= r.TaskLines {
+			t.Errorf("%s: SQL (%d lines) not smaller than native (%d lines)", r.Query, r.SQLLines, r.TaskLines)
+		}
+	}
+	// Paper ordering: window > join > filter/project in native size.
+	if byQuery["window"].TaskLines <= byQuery["filter"].TaskLines {
+		t.Errorf("window task (%d) should dwarf filter task (%d)",
+			byQuery["window"].TaskLines, byQuery["filter"].TaskLines)
+	}
+	out := FormatLOC(rows)
+	if !contains(out, "window") || !contains(out, "SQL lines") {
+		t.Fatalf("table rendering: %s", out)
+	}
+}
+
+func TestFormatFigure(t *testing.T) {
+	spec, _ := FigureByID("5a")
+	out := FormatFigure(spec, []FigureRow{{Containers: 1, Native: 1000, SQL: 650, Ratio: 0.65}})
+	for _, want := range []string{"Figure 5a", "containers", "0.65x"} {
+		if !contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckShape(t *testing.T) {
+	spec, _ := FigureByID("5a")
+	good := []FigureRow{{Containers: 1, Native: 1000, SQL: 650, Ratio: 0.65}}
+	if v := CheckShape(spec, good); len(v) != 0 {
+		t.Fatalf("good rows flagged: %v", v)
+	}
+	bad := []FigureRow{{Containers: 1, Native: 1000, SQL: 1000, Ratio: 1.0}}
+	if v := CheckShape(spec, bad); len(v) == 0 {
+		t.Fatal("parity rows not flagged for filter figure")
+	}
+	joinSpec, _ := FigureByID("5c")
+	if v := CheckShape(joinSpec, []FigureRow{{Containers: 1, Ratio: 0.5}}); len(v) != 0 {
+		t.Fatalf("join ratio 0.5 flagged: %v", v)
+	}
+	winSpec, _ := FigureByID("6")
+	if v := CheckShape(winSpec, []FigureRow{{Containers: 1, Ratio: 0.9}}); len(v) != 0 {
+		t.Fatalf("window parity flagged: %v", v)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		// strings.Contains without importing strings twice in tests
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

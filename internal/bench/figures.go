@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FigureRow is one (container count) point of a figure: native and
+// SamzaSQL job throughput plus their ratio.
+type FigureRow struct {
+	Containers int
+	Native     float64 // msgs/sec
+	SQL        float64 // msgs/sec
+	Ratio      float64 // SQL / native
+}
+
+// FigureSpec maps a paper figure to its benchmark query and sweep.
+type FigureSpec struct {
+	ID         string
+	Title      string
+	Query      string
+	Containers []int
+	// Expected describes the paper's qualitative result, printed alongside
+	// measurements so EXPERIMENTS.md comparisons are self-contained.
+	Expected string
+}
+
+// Figures lists every figure of the paper's evaluation (§5).
+var Figures = []FigureSpec{
+	{
+		ID: "5a", Title: "Filter query throughput (Figure 5a)",
+		Query: "filter", Containers: []int{1, 2, 4, 8},
+		Expected: "SamzaSQL 30-40% below native (message-format transformation); sublinear scaling at fixed partition count",
+	},
+	{
+		ID: "5b", Title: "Project query throughput (Figure 5b)",
+		Query: "project", Containers: []int{1, 2, 4, 8},
+		Expected: "SamzaSQL 30-40% below native (AvroToArray/ArrayToAvro); sublinear scaling",
+	},
+	{
+		ID: "5c", Title: "Stream-to-relation join throughput (Figure 5c)",
+		Query: "join", Containers: []int{1, 2, 4, 8},
+		Expected: "SamzaSQL about 2x slower (Kryo-analog object serde in the KV cache vs native Avro)",
+	},
+	{
+		ID: "6", Title: "Sliding window operator throughput (Figure 6)",
+		Query: "window", Containers: []int{1, 2, 4},
+		Expected: "near parity: both implementations dominated by key-value store access",
+	},
+}
+
+// FigureByID resolves a figure spec.
+func FigureByID(id string) (FigureSpec, bool) {
+	for _, f := range Figures {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return FigureSpec{}, false
+}
+
+// RunFigure sweeps the container counts of one figure, running the
+// native/SamzaSQL pair at each point.
+func RunFigure(spec FigureSpec, cfg Config) ([]FigureRow, error) {
+	var rows []FigureRow
+	for _, c := range spec.Containers {
+		runCfg := cfg
+		runCfg.Containers = c
+		nat, err := RunNative(spec.Query, runCfg)
+		if err != nil {
+			return nil, fmt.Errorf("figure %s native x%d: %w", spec.ID, c, err)
+		}
+		sql, err := RunSQL(spec.Query, runCfg)
+		if err != nil {
+			return nil, fmt.Errorf("figure %s samzasql x%d: %w", spec.ID, c, err)
+		}
+		rows = append(rows, FigureRow{
+			Containers: c,
+			Native:     nat.Throughput,
+			SQL:        sql.Throughput,
+			Ratio:      sql.Throughput / nat.Throughput,
+		})
+	}
+	return rows, nil
+}
+
+// FormatFigure renders the measured series as the paper's figure data.
+func FormatFigure(spec FigureSpec, rows []FigureRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", spec.Title)
+	fmt.Fprintf(&sb, "  paper: %s\n", spec.Expected)
+	fmt.Fprintf(&sb, "  %-10s  %14s  %14s  %9s\n", "containers", "native msg/s", "samzasql msg/s", "sql/native")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-10d  %14.0f  %14.0f  %8.2fx\n", r.Containers, r.Native, r.SQL, r.Ratio)
+	}
+	return sb.String()
+}
+
+// CheckShape verifies the measured rows reproduce the paper's qualitative
+// result for the figure, returning a list of violations (empty = shape
+// holds). Thresholds are deliberately loose: the substrate is an in-process
+// simulator, not the paper's EC2 cluster.
+func CheckShape(spec FigureSpec, rows []FigureRow) []string {
+	var bad []string
+	for _, r := range rows {
+		switch spec.Query {
+		case "filter", "project":
+			if r.Ratio >= 0.95 {
+				bad = append(bad, fmt.Sprintf("x%d: SQL (%.0f) not measurably below native (%.0f)", r.Containers, r.SQL, r.Native))
+			}
+		case "join":
+			if r.Ratio > 0.85 {
+				bad = append(bad, fmt.Sprintf("x%d: SQL join ratio %.2f, expected well below native", r.Containers, r.Ratio))
+			}
+		case "window":
+			if r.Ratio < 0.4 || r.Ratio > 2.5 {
+				bad = append(bad, fmt.Sprintf("x%d: window ratio %.2f, expected near parity", r.Containers, r.Ratio))
+			}
+		}
+	}
+	return bad
+}

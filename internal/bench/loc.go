@@ -1,0 +1,106 @@
+package bench
+
+import (
+	_ "embed"
+	"fmt"
+	"strings"
+)
+
+//go:embed native.go
+var nativeSource string
+
+// LOCRow compares implementation effort for one query (§5's usability
+// discussion: "streaming jobs implemented using Samza's Java API will
+// contain more than 100 lines for sliding window queries, more than 50
+// lines for simple stream-to-relation join and around 20 to 30 lines for
+// filter and project queries").
+type LOCRow struct {
+	Query     string
+	SQLLines  int
+	TaskLines int
+	// PaperTaskLines is the paper's reported native size for reference.
+	PaperTaskLines string
+}
+
+// locMarkers maps queries to their marker names in native.go.
+var locMarkers = map[string]string{
+	"filter":  "filter",
+	"project": "project",
+	"join":    "join",
+	"window":  "window",
+}
+
+var paperLOC = map[string]string{
+	"filter":  "20-30",
+	"project": "20-30",
+	"join":    ">50",
+	"window":  ">100",
+}
+
+// CountTaskLines counts the non-blank, non-comment lines of a native task
+// implementation between its loc markers in this package's source.
+func CountTaskLines(query string) (int, error) {
+	marker, ok := locMarkers[query]
+	if !ok {
+		return 0, fmt.Errorf("bench: no LOC marker for %q", query)
+	}
+	begin := fmt.Sprintf("// loc:%s:begin", marker)
+	end := fmt.Sprintf("// loc:%s:end", marker)
+	i := strings.Index(nativeSource, begin)
+	j := strings.Index(nativeSource, end)
+	if i < 0 || j < 0 || j < i {
+		return 0, fmt.Errorf("bench: markers for %q not found", query)
+	}
+	count := 0
+	for _, line := range strings.Split(nativeSource[i+len(begin):j], "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			continue
+		}
+		count++
+	}
+	return count, nil
+}
+
+// CountSQLLines counts the lines of a benchmark query's SQL text.
+func CountSQLLines(query string) (int, error) {
+	sql, ok := Queries[query]
+	if !ok {
+		return 0, fmt.Errorf("bench: unknown query %q", query)
+	}
+	return len(strings.Split(strings.TrimSpace(sql), "\n")), nil
+}
+
+// LOCTable builds the usability comparison for all four queries.
+func LOCTable() ([]LOCRow, error) {
+	var rows []LOCRow
+	for _, q := range []string{"filter", "project", "window", "join"} {
+		sqlLines, err := CountSQLLines(q)
+		if err != nil {
+			return nil, err
+		}
+		taskLines, err := CountTaskLines(q)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, LOCRow{
+			Query:          q,
+			SQLLines:       sqlLines,
+			TaskLines:      taskLines,
+			PaperTaskLines: paperLOC[q],
+		})
+	}
+	return rows, nil
+}
+
+// FormatLOC renders the usability table.
+func FormatLOC(rows []LOCRow) string {
+	var sb strings.Builder
+	sb.WriteString("Usability: query size in lines (paper §5, prose)\n")
+	fmt.Fprintf(&sb, "  %-8s  %10s  %16s  %18s\n", "query", "SQL lines", "native Go lines", "paper native (Java)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-8s  %10d  %16d  %18s\n", r.Query, r.SQLLines, r.TaskLines, r.PaperTaskLines)
+	}
+	sb.WriteString("  (plus per-job configuration files that SamzaSQL generates automatically)\n")
+	return sb.String()
+}

@@ -1,0 +1,129 @@
+package executor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"samzasql/internal/kafka"
+	"samzasql/internal/samza"
+)
+
+// crashingTask wraps the SamzaSQL task, injecting one failure after a fixed
+// number of processed messages — simulating the task crash the paper's
+// fault-tolerance design (§4.3) must absorb: replayed messages after
+// restart must neither double-count window state nor re-emit output.
+type crashingTask struct {
+	*Task
+	crashAfter int64
+	processed  *atomic.Int64
+	crashed    *atomic.Bool
+}
+
+func (t *crashingTask) Process(env samza.IncomingMessageEnvelope, c samza.MessageCollector, coord samza.Coordinator) error {
+	if err := t.Task.Process(env, c, coord); err != nil {
+		return err
+	}
+	if t.processed.Add(1) == t.crashAfter && t.crashed.CompareAndSwap(false, true) {
+		return errors.New("injected failure after window state update")
+	}
+	return nil
+}
+
+// TestSlidingWindowExactlyOnceAcrossFailure runs the Listing 6 sliding
+// window as a real Samza job, crashes the task mid-stream (after the last
+// checkpoint, so messages replay), and verifies the §4.3 claim: every input
+// order appears in the output exactly once, with the same window sums a
+// failure-free run produces.
+func TestSlidingWindowExactlyOnceAcrossFailure(t *testing.T) {
+	const totalOrders = 2000
+	query := `SELECT STREAM rowtime, orderId, productId, units,
+		  SUM(units) OVER (PARTITION BY productId ORDER BY rowtime
+		    RANGE INTERVAL '10' SECOND PRECEDING) s
+		FROM Orders`
+
+	run := func(crashAfter int64) map[int64][]any {
+		e, _ := testEngine(t, 1, totalOrders)
+		p, err := e.Prepare(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Broker.EnsureTopic(p.OutputTopic, kafka.TopicConfig{Partitions: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.ZK.CreateRecursive(zkQueryPath(p.JobName), []byte(p.Stmt.String())); err != nil {
+			t.Fatal(err)
+		}
+		var processed atomic.Int64
+		var crashed atomic.Bool
+		job := &samza.JobSpec{
+			Name:        p.JobName,
+			Inputs:      []samza.StreamSpec{{Topic: "orders"}},
+			Containers:  1,
+			Stores:      p.Program.Stores,
+			CommitEvery: 500,
+			MaxRestarts: 2,
+			Config: map[string]string{
+				"samzasql.zk.query.path": zkQueryPath(p.JobName),
+				"samzasql.output.topic":  p.OutputTopic,
+			},
+			TaskFactory: func() samza.StreamTask {
+				inner := NewTask(e.Catalog, e.ZK, true)
+				if crashAfter <= 0 {
+					return inner
+				}
+				return &crashingTask{Task: inner, crashAfter: crashAfter, processed: &processed, crashed: &crashed}
+			},
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		rj, err := e.Runner.Submit(ctx, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rj.Stop()
+
+		byOrder := map[int64][]any{}
+		deadline := time.Now().Add(15 * time.Second)
+		for len(byOrder) < totalOrders && time.Now().Before(deadline) {
+			for _, m := range drainNew(t, e.Broker, p.OutputTopic) {
+				row, err := p.Program.OutputCodec.DecodeRow(m.Value, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				byOrder[row[1].(int64)] = row
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if crashAfter > 0 && !crashed.Load() {
+			t.Fatal("failure was never injected")
+		}
+		// Duplicate detection: total emitted messages vs distinct orders.
+		out := drainNew(t, e.Broker, p.OutputTopic)
+		if len(out) != len(byOrder) {
+			t.Fatalf("emitted %d messages for %d distinct orders: duplicates across replay", len(out), len(byOrder))
+		}
+		if len(byOrder) != totalOrders {
+			t.Fatalf("only %d of %d orders in output", len(byOrder), totalOrders)
+		}
+		return byOrder
+	}
+
+	// Crash after 700 messages: 200 past the 500-message checkpoint, so
+	// replay is guaranteed to re-deliver processed messages.
+	withFailure := run(700)
+	clean := run(0)
+
+	for orderID, want := range clean {
+		got, ok := withFailure[orderID]
+		if !ok {
+			t.Fatalf("order %d missing after failure", orderID)
+		}
+		if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+			t.Fatalf("order %d differs across failure:\n  clean: %v\n  crash: %v", orderID, want, got)
+		}
+	}
+}

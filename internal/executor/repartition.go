@@ -1,0 +1,110 @@
+package executor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"samzasql/internal/kafka"
+	"samzasql/internal/samza"
+	"samzasql/internal/sql/physical"
+	"samzasql/internal/yarn"
+)
+
+// RepartitionTask is the Samza task of a re-keying stage (§7 future work
+// 1): it reads the join-key column straight from each message's wire bytes
+// (never materializing the tuple) and forwards the message unchanged to the
+// intermediate topic, keyed so the broker's partitioner co-locates join
+// keys. Ordering is preserved per source partition only — the caveat the
+// paper flags for order-sensitive downstream queries.
+type RepartitionTask struct {
+	Spec *physical.RepartitionSpec
+}
+
+// Init implements samza.StreamTask.
+func (t *RepartitionTask) Init(*samza.TaskContext) error { return nil }
+
+// Process implements samza.StreamTask.
+func (t *RepartitionTask) Process(env samza.IncomingMessageEnvelope, c samza.MessageCollector, _ samza.Coordinator) error {
+	keyVal, err := t.Spec.Codec.ReadField(env.Value, t.Spec.KeyCol)
+	if err != nil {
+		return fmt.Errorf("executor: repartition key read: %w", err)
+	}
+	return c.Send(samza.OutgoingMessageEnvelope{
+		Stream:    t.Spec.TargetTopic,
+		Partition: -1, // broker partitions by the new key
+		Key:       []byte(fmt.Sprintf("%v", keyVal)),
+		Value:     env.Value,
+		Timestamp: env.Timestamp,
+	})
+}
+
+// repartitionJobs tracks re-keying stages already running, so concurrent
+// queries joining on the same key share one intermediate stream instead of
+// duplicating it (§2's sharing-through-intermediate-streams property).
+type repartitionJobs struct {
+	mu      sync.Mutex
+	started map[string]*samza.RunningJob
+}
+
+// ensure starts the stage for spec if no equivalent stage runs yet,
+// returning the job (nil if an existing stage already feeds the topic).
+func (r *repartitionJobs) ensure(ctx context.Context, e *Engine, spec *physical.RepartitionSpec) (*samza.RunningJob, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started == nil {
+		r.started = map[string]*samza.RunningJob{}
+	}
+	if _, ok := r.started[spec.TargetTopic]; ok {
+		return nil, nil
+	}
+	srcParts, err := e.Broker.Partitions(spec.SourceTopic)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Broker.EnsureTopic(spec.TargetTopic, kafka.TopicConfig{Partitions: srcParts}); err != nil {
+		return nil, err
+	}
+	job := &samza.JobSpec{
+		Name:        "repartition-" + spec.TargetTopic,
+		Inputs:      []samza.StreamSpec{{Topic: spec.SourceTopic}},
+		Containers:  e.Containers,
+		CommitEvery: 1000,
+		MaxRestarts: 2,
+		Config:      map[string]string{},
+		TaskFactory: func() samza.StreamTask {
+			return &RepartitionTask{Spec: spec}
+		},
+	}
+	rj, err := e.Runner.Submit(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	r.started[spec.TargetTopic] = rj
+	return rj, nil
+}
+
+// Job is a running SamzaSQL query: the main Samza job plus any upstream
+// repartition stages it depends on.
+type Job struct {
+	// Main is the query's own Samza job.
+	Main *samza.RunningJob
+	// Repartitions are the re-keying stages this submission started (shared
+	// stages started by earlier queries are not listed and not stopped).
+	Repartitions []*samza.RunningJob
+}
+
+// Stop stops the main job, then this submission's repartition stages.
+func (j *Job) Stop() []yarn.ContainerStatus {
+	statuses := j.Main.Stop()
+	for _, r := range j.Repartitions {
+		statuses = append(statuses, r.Stop()...)
+	}
+	return statuses
+}
+
+// Wait blocks until the main job's containers exit.
+func (j *Job) Wait() []yarn.ContainerStatus { return j.Main.Wait() }
+
+// MetricsSnapshot reports the main job's merged metrics.
+func (j *Job) MetricsSnapshot() map[string]int64 { return j.Main.MetricsSnapshot() }

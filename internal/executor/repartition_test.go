@@ -1,0 +1,251 @@
+package executor
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"samzasql/internal/avro"
+	"samzasql/internal/kafka"
+	"samzasql/internal/samza"
+	"samzasql/internal/sql/catalog"
+	"samzasql/internal/sql/types"
+	"samzasql/internal/workload"
+	"samzasql/internal/yarn"
+	"samzasql/internal/zk"
+)
+
+// clicksCatalog builds a scenario whose join is NOT co-partitioned: a
+// Clicks stream published keyed by userId, joined to Orders (keyed by
+// productId) on productId. The Clicks side must repartition (§7 future
+// work 1).
+func clicksEngine(t *testing.T, partitions int32) *Engine {
+	t.Helper()
+	broker := kafka.NewBroker()
+	cluster := yarn.NewCluster()
+	cluster.AddNode("n1", yarn.Resource{VCores: 64, MemoryMB: 1 << 20})
+	cluster.AddNode("n2", yarn.Resource{VCores: 64, MemoryMB: 1 << 20})
+	cat := catalog.New()
+	if err := workload.DefineCatalog(cat); err != nil {
+		t.Fatal(err)
+	}
+	err := cat.Define(&catalog.Object{
+		Kind: catalog.Stream, Name: "Clicks", Topic: "clicks",
+		TimestampCol: "rowtime", PartitionKeyCol: "userId",
+		Row: types.NewRowType(
+			types.Column{Name: "rowtime", Type: types.Timestamp},
+			types.Column{Name: "userId", Type: types.Bigint},
+			types.Column{Name: "productId", Type: types.Bigint},
+		),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.EnsureTopic("clicks", kafka.TopicConfig{Partitions: partitions}); err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.ProduceProducts(broker, "products", partitions, 100); err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(cat, broker, samza.NewJobRunner(broker, cluster), zk.NewStore())
+}
+
+func produceClicks(t *testing.T, e *Engine, count int) {
+	t.Helper()
+	codec := avro.MustCodec(avro.Record("Clicks",
+		avro.F("rowtime", avro.Long()),
+		avro.F("userId", avro.Long()),
+		avro.F("productId", avro.Long()),
+	))
+	for i := 0; i < count; i++ {
+		row := []any{int64(1_600_000_000_000 + i*10), int64(i % 7), int64(i % 100)}
+		value, err := codec.EncodeRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Published keyed by userId — NOT by the join key.
+		if _, err := e.Broker.Produce("clicks", kafka.Message{
+			Partition: -1,
+			Key:       []byte{byte('u'), byte(i % 7)},
+			Value:     value,
+			Timestamp: row[0].(int64),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+const clicksJoin = `
+SELECT STREAM Clicks.rowtime, Clicks.userId, Clicks.productId,
+  Products.supplierId
+FROM Clicks JOIN Products ON Clicks.productId = Products.productId`
+
+func TestRepartitionDetectedInPlan(t *testing.T) {
+	e := clicksEngine(t, 4)
+	p, err := e.Prepare(clicksJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bound.Root.Join.LeftRepartitionCol != "productId" {
+		t.Fatalf("left repartition col %q", p.Bound.Root.Join.LeftRepartitionCol)
+	}
+	if got := len(p.Program.Repartitions); got != 1 {
+		t.Fatalf("%d repartition stages", got)
+	}
+	spec := p.Program.Repartitions[0]
+	if spec.SourceTopic != "clicks" || spec.KeyCol != "productId" {
+		t.Fatalf("spec %+v", spec)
+	}
+	// The main job's scan reads the intermediate topic.
+	found := false
+	for _, in := range p.Program.Inputs {
+		if in.Topic == spec.TargetTopic {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("main job inputs %v do not include %q", p.Program.Inputs, spec.TargetTopic)
+	}
+	// EXPLAIN shows the repartitioned scan.
+	plan, err := e.Explain(clicksJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "repartition by productId") {
+		t.Fatalf("plan missing repartition marker:\n%s", plan)
+	}
+}
+
+func TestCoPartitionedJoinSkipsRepartition(t *testing.T) {
+	e := clicksEngine(t, 4)
+	p, err := e.Prepare(`
+		SELECT STREAM Orders.rowtime FROM Orders
+		JOIN Products ON Orders.productId = Products.productId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Program.Repartitions) != 0 {
+		t.Fatalf("co-partitioned join planned %d repartitions", len(p.Program.Repartitions))
+	}
+}
+
+func TestMisalignedRelationRejected(t *testing.T) {
+	e := clicksEngine(t, 4)
+	// Join ON a Products column that is not its changelog key.
+	_, err := e.Prepare(`
+		SELECT STREAM Orders.rowtime FROM Orders
+		JOIN Products ON Orders.productId = Products.supplierId`)
+	if err == nil || !strings.Contains(err.Error(), "changelog") {
+		t.Fatalf("misaligned relation join: %v", err)
+	}
+}
+
+func TestRepartitionedJoinEndToEnd(t *testing.T) {
+	const clicks = 400
+	e := clicksEngine(t, 4)
+	produceClicks(t, e, clicks)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p, job, err := e.ExecuteStream(ctx, clicksJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Repartitions) != 1 {
+		t.Fatalf("%d repartition jobs started", len(job.Repartitions))
+	}
+	waitForCount(t, 15*time.Second, func() int {
+		return len(drainNew(t, e.Broker, p.OutputTopic))
+	}, clicks, "repartitioned join output")
+	job.Stop()
+
+	out := drainNew(t, e.Broker, p.OutputTopic)
+	if len(out) != clicks {
+		t.Fatalf("%d joined rows, want %d", len(out), clicks)
+	}
+	for _, m := range out {
+		row, err := p.Program.OutputCodec.DecodeRow(m.Value, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[3].(int64) != row[2].(int64)%10 {
+			t.Fatalf("join mismatch %v", row)
+		}
+	}
+	// The intermediate topic is keyed by productId: within any partition,
+	// every message carries keys that hash there.
+	spec := p.Program.Repartitions[0]
+	nParts, err := e.Broker.Partitions(spec.TargetTopic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for part := int32(0); part < nParts; part++ {
+		tp := kafka.TopicPartition{Topic: spec.TargetTopic, Partition: part}
+		hwm, _ := e.Broker.HighWatermark(tp)
+		off := int64(0)
+		for off < hwm {
+			msgs, wait, err := e.Broker.Fetch(tp, off, 512)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wait != nil {
+				break
+			}
+			for _, m := range msgs {
+				if kafka.PartitionForKey(m.Key, nParts) != part {
+					t.Fatalf("message keyed %q landed in partition %d", m.Key, part)
+				}
+			}
+			off = msgs[len(msgs)-1].Offset + 1
+		}
+	}
+}
+
+func TestSharedRepartitionStage(t *testing.T) {
+	e := clicksEngine(t, 4)
+	produceClicks(t, e, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, job1, err := e.ExecuteStream(ctx, clicksJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job1.Stop()
+	_, job2, err := e.ExecuteStream(ctx, clicksJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job2.Stop()
+	if len(job1.Repartitions) != 1 {
+		t.Fatalf("first query started %d stages", len(job1.Repartitions))
+	}
+	if len(job2.Repartitions) != 0 {
+		t.Fatalf("second query duplicated the repartition stage (%d)", len(job2.Repartitions))
+	}
+}
+
+func TestRepartitionedJoinBounded(t *testing.T) {
+	e := clicksEngine(t, 4)
+	produceClicks(t, e, 200)
+	rows, err := e.ExecuteBounded(strings.Replace(clicksJoin, "SELECT STREAM", "SELECT", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 200 {
+		t.Fatalf("%d joined rows, want 200", len(rows))
+	}
+	for _, r := range rows {
+		if r[3].(int64) != r[2].(int64)%10 {
+			t.Fatalf("join mismatch %v", r)
+		}
+	}
+	// Idempotent: a second bounded run must not double the intermediate.
+	rows2, err := e.ExecuteBounded(strings.Replace(clicksJoin, "SELECT STREAM", "SELECT", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows2) != 200 {
+		t.Fatalf("second run: %d rows, want 200", len(rows2))
+	}
+}

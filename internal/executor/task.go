@@ -1,0 +1,86 @@
+package executor
+
+import (
+	"fmt"
+
+	"samzasql/internal/operators"
+	"samzasql/internal/samza"
+	"samzasql/internal/sql/catalog"
+	"samzasql/internal/sql/opt"
+	"samzasql/internal/sql/parser"
+	"samzasql/internal/sql/physical"
+	"samzasql/internal/sql/plan"
+	"samzasql/internal/sql/validate"
+	"samzasql/internal/zk"
+)
+
+// Task is the SamzaSQL stream task (§2, §4.2): a Samza StreamTask whose
+// Init performs the second planning step — it loads the query text from
+// Zookeeper, re-plans it, generates the operator router — and whose Process
+// routes each message through the generated operators.
+type Task struct {
+	catalog  *catalog.Catalog
+	zk       *zk.Store
+	optimize bool
+
+	program *physical.Program
+	ctx     *samza.TaskContext
+}
+
+// NewTask builds an uninitialized SamzaSQL task.
+func NewTask(cat *catalog.Catalog, zkStore *zk.Store, optimize bool) *Task {
+	return &Task{catalog: cat, zk: zkStore, optimize: optimize}
+}
+
+// Init implements samza.StreamTask: task-side query planning.
+func (t *Task) Init(ctx *samza.TaskContext) error {
+	t.ctx = ctx
+	path, ok := ctx.Config["samzasql.zk.query.path"]
+	if !ok {
+		return fmt.Errorf("executor: task config missing samzasql.zk.query.path")
+	}
+	queryText, _, err := t.zk.Get(path)
+	if err != nil {
+		return fmt.Errorf("executor: loading query from zookeeper: %w", err)
+	}
+	stmt, err := parser.Parse(string(queryText))
+	if err != nil {
+		return err
+	}
+	res, err := validate.New(t.catalog).Validate(stmt)
+	if err != nil {
+		return err
+	}
+	logical, err := plan.Build(res)
+	if err != nil {
+		return err
+	}
+	if t.optimize {
+		logical = opt.Optimize(logical)
+	}
+	prog, err := physical.CompileWithOptions(logical, ctx.Config["samzasql.output.topic"],
+		physical.Options{FastPath: ctx.Config["samzasql.fastpath"] == "true"})
+	if err != nil {
+		return err
+	}
+	t.program = prog
+	return prog.Router.Open(&operators.OpContext{
+		Store:     ctx.Store,
+		Partition: ctx.Partition,
+		Metrics:   ctx.Metrics,
+	})
+}
+
+// Process implements samza.StreamTask: decode, route, emit.
+func (t *Task) Process(env samza.IncomingMessageEnvelope, collector samza.MessageCollector, _ samza.Coordinator) error {
+	t.program.SetSender(func(stream string, partition int32, key, value []byte, ts int64) error {
+		return collector.Send(samza.OutgoingMessageEnvelope{
+			Stream:    stream,
+			Partition: partition,
+			Key:       key,
+			Value:     value,
+			Timestamp: ts,
+		})
+	})
+	return t.program.RouteMessage(env.Stream, env.Value, env.Key, env.Timestamp, env.Partition, env.Offset)
+}

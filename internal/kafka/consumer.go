@@ -1,0 +1,219 @@
+package kafka
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// Consumer reads a fixed assignment of partitions, tracking a position per
+// partition. It supports blocking polls (via the broker's append-wait
+// channels), committed-offset resume, and seek-to-beginning replay — the
+// capabilities Samza task runners need.
+type Consumer struct {
+	broker *Broker
+	group  string
+
+	mu        sync.Mutex
+	positions map[TopicPartition]int64
+	// rr orders partitions for round-robin polling fairness.
+	rr   []TopicPartition
+	next int
+}
+
+// NewConsumer creates a consumer for group. Group may be empty for an
+// anonymous consumer that never commits.
+func NewConsumer(b *Broker, group string) *Consumer {
+	return &Consumer{
+		broker:    b,
+		group:     group,
+		positions: make(map[TopicPartition]int64),
+	}
+}
+
+// Assign adds tp to the consumer's assignment, resuming from the group's
+// committed offset if one exists, else from the oldest retained offset.
+func (c *Consumer) Assign(tp TopicPartition) error {
+	start, ok := c.broker.CommittedOffset(c.group, tp)
+	if !ok {
+		var err error
+		start, err = c.broker.StartOffset(tp)
+		if err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.positions[tp]; !dup {
+		c.rr = append(c.rr, tp)
+		sort.Slice(c.rr, func(i, j int) bool {
+			if c.rr[i].Topic != c.rr[j].Topic {
+				return c.rr[i].Topic < c.rr[j].Topic
+			}
+			return c.rr[i].Partition < c.rr[j].Partition
+		})
+	}
+	c.positions[tp] = start
+	return nil
+}
+
+// Seek moves the consumer's position on tp. The partition must be assigned.
+func (c *Consumer) Seek(tp TopicPartition, offset int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.positions[tp]; ok {
+		c.positions[tp] = offset
+	}
+}
+
+// SeekToBeginning rewinds tp to the oldest retained offset (replay).
+func (c *Consumer) SeekToBeginning(tp TopicPartition) error {
+	start, err := c.broker.StartOffset(tp)
+	if err != nil {
+		return err
+	}
+	c.Seek(tp, start)
+	return nil
+}
+
+// Position returns the next offset the consumer will fetch from tp.
+func (c *Consumer) Position(tp TopicPartition) (int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	off, ok := c.positions[tp]
+	return off, ok
+}
+
+// Assignment returns the assigned partitions in deterministic order.
+func (c *Consumer) Assignment() []TopicPartition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]TopicPartition, len(c.rr))
+	copy(out, c.rr)
+	return out
+}
+
+// Poll fetches up to max messages, cycling over assigned partitions for
+// fairness. If every partition is caught up it blocks until new data arrives
+// on any of them or ctx is done. A nil slice with nil error means ctx ended.
+func (c *Consumer) Poll(ctx context.Context, max int) ([]Message, error) {
+	for {
+		msgs, waits, err := c.pollOnce(max)
+		if err != nil {
+			return nil, err
+		}
+		if len(msgs) > 0 {
+			return msgs, nil
+		}
+		if len(waits) == 0 {
+			return nil, nil // no assignment
+		}
+		if !waitAny(ctx, waits) {
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// pollOnce tries each assigned partition once, starting after the last
+// partition that produced data. It returns either messages or the wait
+// channels of all caught-up partitions.
+func (c *Consumer) pollOnce(max int) ([]Message, []<-chan struct{}, error) {
+	c.mu.Lock()
+	rr := make([]TopicPartition, len(c.rr))
+	copy(rr, c.rr)
+	start := c.next
+	c.mu.Unlock()
+
+	var waits []<-chan struct{}
+	for i := 0; i < len(rr); i++ {
+		tp := rr[(start+i)%len(rr)]
+		c.mu.Lock()
+		pos := c.positions[tp]
+		c.mu.Unlock()
+
+		msgs, wait, err := c.broker.Fetch(tp, pos, max)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(msgs) > 0 {
+			c.mu.Lock()
+			c.positions[tp] = msgs[len(msgs)-1].Offset + 1
+			c.next = (start + i + 1) % len(rr)
+			c.mu.Unlock()
+			return msgs, nil, nil
+		}
+		if wait != nil {
+			waits = append(waits, wait)
+		}
+	}
+	return nil, waits, nil
+}
+
+// waitAny blocks until any channel closes or ctx is done; true means a
+// channel fired.
+func waitAny(ctx context.Context, chans []<-chan struct{}) bool {
+	if len(chans) == 1 {
+		select {
+		case <-chans[0]:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	fired := make(chan struct{}, 1)
+	stop := make(chan struct{})
+	defer close(stop)
+	for _, ch := range chans {
+		go func(ch <-chan struct{}) {
+			select {
+			case <-ch:
+				select {
+				case fired <- struct{}{}:
+				default:
+				}
+			case <-stop:
+			}
+		}(ch)
+	}
+	select {
+	case <-fired:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Commit records the current position of every assigned partition under the
+// consumer's group.
+func (c *Consumer) Commit() {
+	if c.group == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for tp, pos := range c.positions {
+		c.broker.CommitOffset(c.group, tp, pos)
+	}
+}
+
+// Lag returns the total number of unconsumed messages across the assignment.
+func (c *Consumer) Lag() (int64, error) {
+	c.mu.Lock()
+	snapshot := make(map[TopicPartition]int64, len(c.positions))
+	for tp, pos := range c.positions {
+		snapshot[tp] = pos
+	}
+	c.mu.Unlock()
+
+	var lag int64
+	for tp, pos := range snapshot {
+		hwm, err := c.broker.HighWatermark(tp)
+		if err != nil {
+			return 0, err
+		}
+		if hwm > pos {
+			lag += hwm - pos
+		}
+	}
+	return lag, nil
+}

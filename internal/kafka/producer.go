@@ -1,0 +1,33 @@
+package kafka
+
+// Producer is a convenience front for appending to one topic. It is a thin
+// stateless wrapper; all ordering guarantees come from the broker.
+type Producer struct {
+	broker *Broker
+	topic  string
+}
+
+// NewProducer returns a producer bound to topic on b.
+func NewProducer(b *Broker, topic string) *Producer {
+	return &Producer{broker: b, topic: topic}
+}
+
+// Send appends a message with key-based partitioning and returns its offset.
+func (p *Producer) Send(key, value []byte, timestamp int64) (int64, error) {
+	return p.broker.Produce(p.topic, Message{
+		Partition: -1,
+		Key:       key,
+		Value:     value,
+		Timestamp: timestamp,
+	})
+}
+
+// SendTo appends a message to an explicit partition and returns its offset.
+func (p *Producer) SendTo(part int32, key, value []byte, timestamp int64) (int64, error) {
+	return p.broker.Produce(p.topic, Message{
+		Partition: part,
+		Key:       key,
+		Value:     value,
+		Timestamp: timestamp,
+	})
+}

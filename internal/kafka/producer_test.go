@@ -1,0 +1,54 @@
+package kafka
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestProducerSendPartitionsByKey(t *testing.T) {
+	b := NewBroker()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 8})
+	p := NewProducer(b, "t")
+	off, err := p.Send([]byte("key-a"), []byte("v1"), 100)
+	if err != nil || off != 0 {
+		t.Fatalf("Send: %d %v", off, err)
+	}
+	// Same key lands in the same partition with increasing offsets.
+	off2, err := p.Send([]byte("key-a"), []byte("v2"), 200)
+	if err != nil || off2 != 1 {
+		t.Fatalf("second Send: %d %v", off2, err)
+	}
+	want := PartitionForKey([]byte("key-a"), 8)
+	tp := TopicPartition{Topic: "t", Partition: want}
+	msgs, _, err := b.Fetch(tp, 0, 10)
+	if err != nil || len(msgs) != 2 {
+		t.Fatalf("fetch from keyed partition: %d msgs, %v", len(msgs), err)
+	}
+	if msgs[0].Timestamp != 100 || msgs[1].Timestamp != 200 {
+		t.Fatalf("timestamps %d %d", msgs[0].Timestamp, msgs[1].Timestamp)
+	}
+}
+
+func TestProducerSendTo(t *testing.T) {
+	b := NewBroker()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 4})
+	p := NewProducer(b, "t")
+	if _, err := p.SendTo(3, []byte("k"), []byte("v"), 1); err != nil {
+		t.Fatal(err)
+	}
+	hwm, _ := b.HighWatermark(TopicPartition{Topic: "t", Partition: 3})
+	if hwm != 1 {
+		t.Fatalf("explicit partition ignored: hwm %d", hwm)
+	}
+	if _, err := p.SendTo(9, nil, nil, 0); !errors.Is(err, ErrUnknownPartition) {
+		t.Fatalf("out-of-range partition: %v", err)
+	}
+}
+
+func TestProducerUnknownTopic(t *testing.T) {
+	b := NewBroker()
+	p := NewProducer(b, "missing")
+	if _, err := p.Send(nil, []byte("v"), 0); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("send to missing topic: %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+package kafka
+
+// segment is a contiguous offset range of records within a partition,
+// beginning at baseOffset. Partitions are chains of segments; retention
+// drops whole segments from the head, which is how Kafka bounds disk usage
+// without rewriting the log. After compaction a segment's records become
+// sparse in offset but the segment still covers its full [base, upper)
+// range, so offset arithmetic in the partition stays simple.
+type segment struct {
+	baseOffset  int64
+	upperOffset int64 // next offset after this segment's range
+	records     []Message
+	sizeBytes   int
+	dense       bool // records are contiguous: offset = base + index
+}
+
+func newSegment(base int64) *segment {
+	return &segment{baseOffset: base, upperOffset: base, dense: true}
+}
+
+// append adds a record, which must already carry its final offset equal to
+// the segment's upper bound (dense append).
+func (s *segment) append(m Message) {
+	s.records = append(s.records, m)
+	s.sizeBytes += m.Size()
+	s.upperOffset++
+}
+
+// nextOffset is the offset one past the last offset covered by the segment.
+func (s *segment) nextOffset() int64 { return s.upperOffset }
+
+// contains reports whether offset falls inside this segment's range.
+func (s *segment) contains(offset int64) bool {
+	return offset >= s.baseOffset && offset < s.upperOffset
+}
+
+// fetch returns up to max records with offset >= from.
+func (s *segment) fetch(from int64, max int) []Message {
+	if max <= 0 {
+		return nil
+	}
+	if s.dense {
+		if from < s.baseOffset {
+			from = s.baseOffset
+		}
+		i := int(from - s.baseOffset)
+		if i >= len(s.records) {
+			return nil
+		}
+		j := i + max
+		if j > len(s.records) {
+			j = len(s.records)
+		}
+		return s.records[i:j]
+	}
+	var out []Message
+	for _, m := range s.records {
+		if m.Offset < from {
+			continue
+		}
+		out = append(out, m)
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package kv
+
+import (
+	"fmt"
+
+	"samzasql/internal/kafka"
+)
+
+// ChangelogStore wraps a Store, mirroring every write to a compacted Kafka
+// changelog topic partition so the state can be rebuilt after a task
+// failure, exactly as Samza snapshots local state (§2, §4.3). The changelog
+// partition matches the task's input partition so restored state lands on
+// the task that owns the keys.
+type ChangelogStore struct {
+	Store
+	broker    *kafka.Broker
+	topic     string
+	partition int32
+}
+
+// NewChangelogStore creates (if needed) the compacted changelog topic with
+// the given partition count and returns a store mirroring to one partition.
+func NewChangelogStore(inner Store, broker *kafka.Broker, topic string, partitions, partition int32) (*ChangelogStore, error) {
+	err := broker.EnsureTopic(topic, kafka.TopicConfig{
+		Partitions: partitions,
+		Compacted:  true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kv: changelog topic: %w", err)
+	}
+	return &ChangelogStore{
+		Store:     inner,
+		broker:    broker,
+		topic:     topic,
+		partition: partition,
+	}, nil
+}
+
+// Put writes through to the inner store and appends to the changelog.
+func (c *ChangelogStore) Put(key, value []byte) {
+	c.Store.Put(key, value)
+	// Changelog appends cannot fail here: the topic exists and the
+	// partition index was validated at construction.
+	if _, err := c.broker.Produce(c.topic, kafka.Message{
+		Partition: c.partition,
+		Key:       append([]byte(nil), key...),
+		Value:     append([]byte(nil), value...),
+	}); err != nil {
+		panic(fmt.Sprintf("kv: changelog append: %v", err))
+	}
+}
+
+// Delete removes the key and appends a tombstone to the changelog.
+func (c *ChangelogStore) Delete(key []byte) bool {
+	ok := c.Store.Delete(key)
+	if _, err := c.broker.Produce(c.topic, kafka.Message{
+		Partition: c.partition,
+		Key:       append([]byte(nil), key...),
+		Value:     nil,
+	}); err != nil {
+		panic(fmt.Sprintf("kv: changelog tombstone: %v", err))
+	}
+	return ok
+}
+
+// Restore rebuilds the inner store by replaying the changelog partition from
+// its start offset to the current high watermark. It is called by the task
+// runner before any input message is delivered after a (re)start.
+func (c *ChangelogStore) Restore() error {
+	tp := kafka.TopicPartition{Topic: c.topic, Partition: c.partition}
+	start, err := c.broker.StartOffset(tp)
+	if err != nil {
+		return err
+	}
+	hwm, err := c.broker.HighWatermark(tp)
+	if err != nil {
+		return err
+	}
+	off := start
+	for off < hwm {
+		msgs, wait, err := c.broker.Fetch(tp, off, 1024)
+		if err != nil {
+			return err
+		}
+		if wait != nil {
+			break // compaction gap at the tail; nothing further to replay
+		}
+		for _, m := range msgs {
+			if m.Value == nil {
+				c.Store.Delete(m.Key)
+			} else {
+				c.Store.Put(m.Key, m.Value)
+			}
+		}
+		off = msgs[len(msgs)-1].Offset + 1
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"samzasql/internal/kafka"
+	"samzasql/internal/serde"
+)
+
+func TestStoreGetPutDelete(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Get([]byte("a")); ok {
+		t.Fatal("empty store returned a value")
+	}
+	s.Put([]byte("a"), []byte("1"))
+	v, ok := s.Get([]byte("a"))
+	if !ok || string(v) != "1" {
+		t.Fatalf("Get: %q %v", v, ok)
+	}
+	s.Put([]byte("a"), []byte("2"))
+	v, _ = s.Get([]byte("a"))
+	if string(v) != "2" {
+		t.Fatalf("overwrite: %q", v)
+	}
+	if !s.Delete([]byte("a")) {
+		t.Fatal("delete of present key returned false")
+	}
+	if s.Delete([]byte("a")) {
+		t.Fatal("delete of absent key returned true")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStoreKeyCopySemantics(t *testing.T) {
+	s := NewStore()
+	key := []byte("k")
+	val := []byte("v")
+	s.Put(key, val)
+	key[0] = 'X'
+	val[0] = 'X'
+	if _, ok := s.Get([]byte("k")); !ok {
+		t.Fatal("mutating caller's key slice corrupted the store")
+	}
+	v, _ := s.Get([]byte("k"))
+	if string(v) != "v" {
+		t.Fatal("mutating caller's value slice corrupted the store")
+	}
+}
+
+func TestStoreRangeOrdered(t *testing.T) {
+	s := NewStore()
+	keys := []string{"d", "a", "c", "b", "e"}
+	for _, k := range keys {
+		s.Put([]byte(k), []byte("v"+k))
+	}
+	all := s.Range(nil, nil, 0)
+	if len(all) != 5 {
+		t.Fatalf("full scan returned %d entries", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if bytes.Compare(all[i-1].Key, all[i].Key) >= 0 {
+			t.Fatal("scan out of order")
+		}
+	}
+	mid := s.Range([]byte("b"), []byte("d"), 0)
+	if len(mid) != 2 || string(mid[0].Key) != "b" || string(mid[1].Key) != "c" {
+		t.Fatalf("bounded scan: %v", mid)
+	}
+	limited := s.Range(nil, nil, 3)
+	if len(limited) != 3 {
+		t.Fatalf("limited scan returned %d", len(limited))
+	}
+}
+
+func TestStoreStats(t *testing.T) {
+	s := NewStore()
+	s.Put([]byte("a"), []byte("1"))
+	s.Get([]byte("a"))
+	s.Range(nil, nil, 0)
+	s.Delete([]byte("a"))
+	reads, writes := s.Stats()
+	if reads != 2 || writes != 2 {
+		t.Fatalf("stats = %d reads %d writes", reads, writes)
+	}
+}
+
+func TestPropertyStoreMatchesMap(t *testing.T) {
+	type op struct {
+		Put bool
+		Key uint8
+		Val uint16
+	}
+	f := func(ops []op) bool {
+		s := NewStore()
+		ref := map[string]string{}
+		for _, o := range ops {
+			k := []byte(fmt.Sprintf("k%03d", o.Key))
+			if o.Put {
+				v := []byte(fmt.Sprintf("v%d", o.Val))
+				s.Put(k, v)
+				ref[string(k)] = string(v)
+			} else {
+				s.Delete(k)
+				delete(ref, string(k))
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		// Full scan must equal the sorted reference map.
+		var wantKeys []string
+		for k := range ref {
+			wantKeys = append(wantKeys, k)
+		}
+		sort.Strings(wantKeys)
+		got := s.Range(nil, nil, 0)
+		if len(got) != len(wantKeys) {
+			return false
+		}
+		for i, k := range wantKeys {
+			if string(got[i].Key) != k || string(got[i].Value) != ref[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChangelogRestore(t *testing.T) {
+	broker := kafka.NewBroker()
+	cs, err := NewChangelogStore(NewStore(), broker, "state-cl", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		cs.Put([]byte(fmt.Sprintf("k%02d", i%10)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	cs.Delete([]byte("k03"))
+
+	// Simulate failure: brand-new store restored from the changelog.
+	restored, err := NewChangelogStore(NewStore(), broker, "state-cl", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 9 {
+		t.Fatalf("restored %d keys, want 9", restored.Len())
+	}
+	v, ok := restored.Get([]byte("k05"))
+	if !ok || string(v) != "v45" {
+		t.Fatalf("restored k05 = %q %v", v, ok)
+	}
+	if _, ok := restored.Get([]byte("k03")); ok {
+		t.Fatal("tombstoned key resurrected by restore")
+	}
+}
+
+func TestChangelogRestoreAfterCompaction(t *testing.T) {
+	broker := kafka.NewBroker()
+	cs, err := NewChangelogStore(NewStore(), broker, "cl", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		cs.Put([]byte(fmt.Sprintf("k%02d", i%25)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := broker.Compact("cl"); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewChangelogStore(NewStore(), broker, "cl", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 25 {
+		t.Fatalf("restored %d keys, want 25", restored.Len())
+	}
+	for i := 0; i < 25; i++ {
+		v, ok := restored.Get([]byte(fmt.Sprintf("k%02d", i)))
+		want := fmt.Sprintf("v%d", 1975+i)
+		if !ok || string(v) != want {
+			t.Fatalf("k%02d restored to %q, want %q", i, v, want)
+		}
+	}
+}
+
+func TestTypedStoreRoundTrip(t *testing.T) {
+	ts := NewTypedStore(NewStore(), serde.Int64Serde{}, serde.GobSerde{})
+	row := []any{int64(1), "order", 2.5}
+	if err := ts.Put(int64(100), row); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ts.Get(int64(100))
+	if err != nil || !ok {
+		t.Fatalf("Get: %v %v", ok, err)
+	}
+	r := got.([]any)
+	if r[0].(int64) != 1 || r[1].(string) != "order" || r[2].(float64) != 2.5 {
+		t.Fatalf("decoded %v", r)
+	}
+	if _, ok, _ := ts.Get(int64(999)); ok {
+		t.Fatal("phantom key")
+	}
+	if err := ts.Delete(int64(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := ts.Get(int64(100)); ok {
+		t.Fatal("key survived delete")
+	}
+}
+
+func TestTypedStoreRangeNumericOrder(t *testing.T) {
+	ts := NewTypedStore(NewStore(), serde.Int64Serde{}, serde.GobSerde{})
+	// Include negatives: the int64 serde must keep numeric order.
+	for _, k := range []int64{5, -3, 10, 0, 7, -8} {
+		if err := ts.Put(k, []any{k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := ts.Range(int64(-5), int64(8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for _, e := range entries {
+		got = append(got, e.Key.(int64))
+	}
+	want := []int64{-3, 0, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("range keys %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range keys %v, want %v", got, want)
+		}
+	}
+}

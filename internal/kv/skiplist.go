@@ -1,0 +1,211 @@
+// Package kv implements the managed local key-value state store Samza gives
+// each streaming task (§2 "Fault-tolerant Local State", §4.3, §4.4): an
+// ordered byte-keyed store with range scans, optionally backed by a
+// compacted Kafka changelog topic for restore-after-failure.
+package kv
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+)
+
+const maxHeight = 16
+
+type skipNode struct {
+	key   []byte
+	value []byte
+	next  [maxHeight]*skipNode
+}
+
+// skiplist is an ordered map from []byte to []byte, the in-memory engine
+// behind Store. Reads and writes are O(log n); iteration is ordered.
+type skiplist struct {
+	head   *skipNode
+	height int
+	length int
+	rng    *rand.Rand
+}
+
+func newSkiplist() *skiplist {
+	return &skiplist{
+		head:   &skipNode{},
+		height: 1,
+		// Deterministic seed: store behaviour must not vary across runs.
+		rng: rand.New(rand.NewSource(0x5a3a)),
+	}
+}
+
+func (s *skiplist) randomHeight() int {
+	h := 1
+	for h < maxHeight && s.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node with key >= key, recording the
+// rightmost node before it at every level in prev (when prev != nil).
+func (s *skiplist) findGreaterOrEqual(key []byte, prev *[maxHeight]*skipNode) *skipNode {
+	x := s.head
+	for level := s.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && bytes.Compare(x.next[level].key, key) < 0 {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+func (s *skiplist) get(key []byte) ([]byte, bool) {
+	n := s.findGreaterOrEqual(key, nil)
+	if n != nil && bytes.Equal(n.key, key) {
+		return n.value, true
+	}
+	return nil, false
+}
+
+func (s *skiplist) put(key, value []byte) {
+	var prev [maxHeight]*skipNode
+	for level := s.height; level < maxHeight; level++ {
+		prev[level] = s.head
+	}
+	n := s.findGreaterOrEqual(key, &prev)
+	if n != nil && bytes.Equal(n.key, key) {
+		n.value = value
+		return
+	}
+	h := s.randomHeight()
+	if h > s.height {
+		s.height = h
+	}
+	node := &skipNode{key: key, value: value}
+	for level := 0; level < h; level++ {
+		node.next[level] = prev[level].next[level]
+		prev[level].next[level] = node
+	}
+	s.length++
+}
+
+func (s *skiplist) delete(key []byte) bool {
+	var prev [maxHeight]*skipNode
+	n := s.findGreaterOrEqual(key, &prev)
+	if n == nil || !bytes.Equal(n.key, key) {
+		return false
+	}
+	for level := 0; level < s.height; level++ {
+		if prev[level].next[level] == n {
+			prev[level].next[level] = n.next[level]
+		}
+	}
+	for s.height > 1 && s.head.next[s.height-1] == nil {
+		s.height--
+	}
+	s.length--
+	return true
+}
+
+// Entry is one key-value pair returned by iteration.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// rangeScan collects entries with start <= key < end. nil start means from
+// the beginning, nil end means to the end; limit <= 0 means unlimited.
+func (s *skiplist) rangeScan(start, end []byte, limit int) []Entry {
+	var out []Entry
+	var n *skipNode
+	if start == nil {
+		n = s.head.next[0]
+	} else {
+		n = s.findGreaterOrEqual(start, nil)
+	}
+	for n != nil {
+		if end != nil && bytes.Compare(n.key, end) >= 0 {
+			break
+		}
+		out = append(out, Entry{Key: n.key, Value: n.value})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		n = n.next[0]
+	}
+	return out
+}
+
+// store is the mutex-guarded skiplist implementing Store.
+type store struct {
+	mu   sync.RWMutex
+	list *skiplist
+	// writes and reads count store operations, exposed for the paper's
+	// observation that sliding-window throughput is KV-access bound (§5.1).
+	writes int64
+	reads  int64
+}
+
+// NewStore returns an empty ordered in-memory store.
+func NewStore() Store {
+	return &store{list: newSkiplist()}
+}
+
+// Store is the task-local state interface handed to operators.
+type Store interface {
+	// Get returns the value for key, or ok=false.
+	Get(key []byte) (value []byte, ok bool)
+	// Put inserts or replaces key. Key and value bytes are copied.
+	Put(key, value []byte)
+	// Delete removes key, reporting whether it was present.
+	Delete(key []byte) bool
+	// Range returns entries with start <= key < end (nil = unbounded),
+	// at most limit (<=0 = all), in key order.
+	Range(start, end []byte, limit int) []Entry
+	// Len returns the number of live keys.
+	Len() int
+	// Stats returns cumulative (reads, writes).
+	Stats() (reads, writes int64)
+}
+
+func (s *store) Get(key []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reads++
+	return s.list.get(key)
+}
+
+func (s *store) Put(key, value []byte) {
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writes++
+	s.list.put(k, v)
+}
+
+func (s *store) Delete(key []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writes++
+	return s.list.delete(key)
+}
+
+func (s *store) Range(start, end []byte, limit int) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reads++
+	return s.list.rangeScan(start, end, limit)
+}
+
+func (s *store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.list.length
+}
+
+func (s *store) Stats() (int64, int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reads, s.writes
+}

@@ -1,0 +1,141 @@
+// Package metrics provides the counters and gauges Samza containers expose
+// and the benchmark harness samples to compute the throughput figures in §5.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a point-in-time value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry groups named metrics for one container or task.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot returns all metric values keyed by name, counters and gauges
+// merged, in a fresh map.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges))
+	for n, c := range r.counters {
+		out[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		out[n] = g.Value()
+	}
+	return out
+}
+
+// Names returns the sorted names of all registered metrics.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.counters)+len(r.gauges))
+	for n := range r.counters {
+		out = append(out, n)
+	}
+	for n := range r.gauges {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rate measures events per second between two counter observations.
+type Rate struct {
+	counter   *Counter
+	lastValue int64
+	lastTime  time.Time
+}
+
+// NewRate starts tracking c from now.
+func NewRate(c *Counter) *Rate {
+	return &Rate{counter: c, lastValue: c.Value(), lastTime: time.Now()}
+}
+
+// Sample returns events/second since the previous sample and resets the
+// window.
+func (r *Rate) Sample() float64 {
+	now := time.Now()
+	v := r.counter.Value()
+	dt := now.Sub(r.lastTime).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	rate := float64(v-r.lastValue) / dt
+	r.lastValue = v
+	r.lastTime = now
+	return rate
+}
+
+// FormatThroughput renders msgs/sec in the unit style used by the paper's
+// figures (k msgs/sec above 1000).
+func FormatThroughput(perSec float64) string {
+	if perSec >= 1000 {
+		return fmt.Sprintf("%.1fk msg/s", perSec/1000)
+	}
+	return fmt.Sprintf("%.0f msg/s", perSec)
+}

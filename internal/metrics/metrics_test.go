@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	c.Add(42)
+	if c.Value() != 8042 {
+		t.Fatalf("counter = %d after Add", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+}
+
+func TestRegistryIdentityAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("msgs")
+	b := r.Counter("msgs")
+	if a != b {
+		t.Fatal("same name returned different counters")
+	}
+	a.Add(5)
+	r.Gauge("lag").Set(3)
+	snap := r.Snapshot()
+	if snap["msgs"] != 5 || snap["lag"] != 3 {
+		t.Fatalf("snapshot %v", snap)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "lag" || names[1] != "msgs" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestRateSample(t *testing.T) {
+	var c Counter
+	r := NewRate(&c)
+	c.Add(100)
+	rate := r.Sample()
+	if rate <= 0 {
+		t.Fatalf("rate = %f", rate)
+	}
+	// Second sample with no events should be ~0.
+	if rate2 := r.Sample(); rate2 < 0 {
+		t.Fatalf("rate2 = %f", rate2)
+	}
+}
+
+func TestFormatThroughput(t *testing.T) {
+	if got := FormatThroughput(1500); !strings.Contains(got, "1.5k") {
+		t.Fatalf("FormatThroughput(1500) = %q", got)
+	}
+	if got := FormatThroughput(900); !strings.Contains(got, "900") {
+		t.Fatalf("FormatThroughput(900) = %q", got)
+	}
+}

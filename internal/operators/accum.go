@@ -1,0 +1,312 @@
+package operators
+
+import (
+	"fmt"
+
+	"samzasql/internal/sql/expr"
+	"samzasql/internal/sql/udf"
+	"samzasql/internal/sql/validate"
+)
+
+// Accumulator is one aggregate function's running state: the builtins
+// (COUNT/SUM/MIN/MAX/AVG/START/END) and user-defined aggregates implement
+// it. Remove supports the sliding window's purge phase (Algorithm 1) for
+// invertible aggregates; non-invertible ones (MIN/MAX, non-invertible
+// UDAFs) are rebuilt by rescanning the retained window.
+type Accumulator interface {
+	// Add folds one value in; v may be nil (ignored by builtins except
+	// COUNT(*), whose caller passes a non-nil marker).
+	Add(v any) error
+	// Remove unfolds one value (only called when Invertible is true).
+	Remove(v any) error
+	// Invertible reports whether Remove fully maintains the aggregate.
+	Invertible() bool
+	// Value returns the aggregate's current SQL value.
+	Value() any
+	// SetWindow supplies window bounds (used by START/END; no-op others).
+	SetWindow(start, end int64)
+	// Snapshot flattens the state for changelog-backed persistence.
+	Snapshot() []any
+	// Restore rebuilds the state from a Snapshot row.
+	Restore(row []any) error
+}
+
+// NewAccumulatorFor builds the accumulator for an aggregate function name:
+// a builtin, or a registered user-defined aggregate (§7 future work 4).
+func NewAccumulatorFor(fn string) (Accumulator, error) {
+	switch fn {
+	case "COUNT", "SUM", "MIN", "MAX", "AVG", "START", "END":
+		return NewAccum(fn), nil
+	}
+	if def, ok := udf.LookupAggregate(fn); ok {
+		return &udafAccum{state: def.New()}, nil
+	}
+	return nil, fmt.Errorf("operators: unknown aggregate %q", fn)
+}
+
+// Accum is the builtin accumulator.
+type Accum struct {
+	Fn      string
+	Count   int64 // non-null inputs (or all rows for COUNT(*))
+	SumI    int64
+	SumF    float64
+	IsFloat bool
+	Min     any
+	Max     any
+	// Start/End hold window bounds for the START/END aggregates (§3.6).
+	Start int64
+	End   int64
+}
+
+// NewAccum builds the builtin accumulator for fn.
+func NewAccum(fn string) *Accum { return &Accum{Fn: fn} }
+
+// Add implements Accumulator.
+func (a *Accum) Add(v any) error {
+	if v == nil {
+		return nil
+	}
+	if a.Fn == "COUNT" {
+		a.Count++
+		return nil
+	}
+	a.Count++
+	switch t := v.(type) {
+	case int64:
+		a.SumI += t
+	case float64:
+		a.SumF += t
+		a.IsFloat = true
+	case bool, string:
+		// MIN/MAX over non-numerics: no sum.
+	default:
+		return fmt.Errorf("operators: aggregate over %T", v)
+	}
+	if a.Min == nil {
+		a.Min = v
+		a.Max = v
+		return nil
+	}
+	if c, err := expr.CompareValues(v, a.Min); err == nil && c < 0 {
+		a.Min = v
+	}
+	if c, err := expr.CompareValues(v, a.Max); err == nil && c > 0 {
+		a.Max = v
+	}
+	return nil
+}
+
+// Remove implements Accumulator (invertible aggregates only; Min/Max go
+// stale and are rebuilt by the caller when it relies on them).
+func (a *Accum) Remove(v any) error {
+	if v == nil {
+		return nil
+	}
+	a.Count--
+	if a.Fn == "COUNT" {
+		return nil
+	}
+	switch t := v.(type) {
+	case int64:
+		a.SumI -= t
+	case float64:
+		a.SumF -= t
+	}
+	return nil
+}
+
+// Invertible implements Accumulator.
+func (a *Accum) Invertible() bool {
+	switch a.Fn {
+	case "COUNT", "SUM", "AVG", "START", "END":
+		return true
+	default:
+		return false
+	}
+}
+
+// SetWindow implements Accumulator.
+func (a *Accum) SetWindow(start, end int64) {
+	a.Start, a.End = start, end
+}
+
+// Value implements Accumulator.
+func (a *Accum) Value() any {
+	switch a.Fn {
+	case "COUNT":
+		return a.Count
+	case "SUM":
+		if a.Count == 0 {
+			return nil
+		}
+		if a.IsFloat {
+			return a.SumF + float64(a.SumI)
+		}
+		return a.SumI
+	case "AVG":
+		if a.Count == 0 {
+			return nil
+		}
+		return (a.SumF + float64(a.SumI)) / float64(a.Count)
+	case "MIN":
+		return a.Min
+	case "MAX":
+		return a.Max
+	case "START":
+		return a.Start
+	case "END":
+		return a.End
+	default:
+		return nil
+	}
+}
+
+// Snapshot implements Accumulator; rows round-trip through the object serde
+// used for state (the paper prototype's Kryo analog).
+func (a *Accum) Snapshot() []any {
+	return []any{a.Fn, a.Count, a.SumI, a.SumF, a.IsFloat, a.Min, a.Max, a.Start, a.End}
+}
+
+// Restore implements Accumulator.
+func (a *Accum) Restore(row []any) error {
+	if len(row) != 9 {
+		return fmt.Errorf("operators: accumulator snapshot has %d fields", len(row))
+	}
+	fn, ok := row[0].(string)
+	if !ok {
+		return fmt.Errorf("operators: accumulator snapshot fn is %T", row[0])
+	}
+	a.Fn = fn
+	a.Count, _ = row[1].(int64)
+	a.SumI, _ = row[2].(int64)
+	a.SumF, _ = row[3].(float64)
+	a.IsFloat, _ = row[4].(bool)
+	a.Min = row[5]
+	a.Max = row[6]
+	a.Start, _ = row[7].(int64)
+	a.End, _ = row[8].(int64)
+	return nil
+}
+
+// RestoreAccum rebuilds a builtin accumulator from Snapshot output.
+func RestoreAccum(row []any) (*Accum, error) {
+	a := &Accum{}
+	if err := a.Restore(row); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// udafAccum adapts a user-defined aggregate to the Accumulator interface.
+type udafAccum struct {
+	state udf.AggregateState
+}
+
+func (u *udafAccum) Add(v any) error         { return u.state.Add(v) }
+func (u *udafAccum) Remove(v any) error      { return u.state.Remove(v) }
+func (u *udafAccum) Invertible() bool        { return u.state.Invertible() }
+func (u *udafAccum) Value() any              { return u.state.Value() }
+func (u *udafAccum) SetWindow(_, _ int64)    {}
+func (u *udafAccum) Snapshot() []any         { return u.state.Snapshot() }
+func (u *udafAccum) Restore(row []any) error { return u.state.Restore(row) }
+
+// AccumSet is the per-group collection of accumulators.
+type AccumSet struct {
+	specs  []*validate.BoundAgg
+	Accums []Accumulator
+	// argEvals[i] computes the i-th aggregate's input from a tuple row
+	// (nil for COUNT(*), START, END).
+	argEvals []expr.Evaluator
+}
+
+// NewAccumSet builds accumulators and compiled argument evaluators for the
+// bound aggregates.
+func NewAccumSet(aggs []*validate.BoundAgg) (*AccumSet, error) {
+	s := &AccumSet{specs: aggs}
+	for _, ag := range aggs {
+		acc, err := NewAccumulatorFor(ag.Fn)
+		if err != nil {
+			return nil, err
+		}
+		s.Accums = append(s.Accums, acc)
+		if ag.Arg != nil && ag.Fn != "START" && ag.Fn != "END" {
+			ev, err := expr.Compile(ag.Arg)
+			if err != nil {
+				return nil, err
+			}
+			s.argEvals = append(s.argEvals, ev)
+		} else {
+			s.argEvals = append(s.argEvals, nil)
+		}
+	}
+	return s, nil
+}
+
+// ArgEvals exposes the compiled argument evaluators (index-aligned with
+// Accums; nil entries mean "count the row" or window-bound aggregates).
+func (s *AccumSet) ArgEvals() []expr.Evaluator { return s.argEvals }
+
+// Add folds a tuple row into every accumulator.
+func (s *AccumSet) Add(row []any) error {
+	for i, a := range s.Accums {
+		fn := s.specs[i].Fn
+		if fn == "START" || fn == "END" {
+			continue
+		}
+		var v any = int64(1) // COUNT(*) marker
+		if s.argEvals[i] != nil {
+			var err error
+			v, err = s.argEvals[i](row)
+			if err != nil {
+				return err
+			}
+		}
+		if err := a.Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetWindow fills START/END values.
+func (s *AccumSet) SetWindow(start, end int64) {
+	for _, a := range s.Accums {
+		a.SetWindow(start, end)
+	}
+}
+
+// Values returns the aggregate output slots.
+func (s *AccumSet) Values() []any {
+	out := make([]any, len(s.Accums))
+	for i, a := range s.Accums {
+		out[i] = a.Value()
+	}
+	return out
+}
+
+// Snapshot nests each accumulator's snapshot into one row.
+func (s *AccumSet) Snapshot() []any {
+	out := make([]any, len(s.Accums))
+	for i, a := range s.Accums {
+		out[i] = a.Snapshot()
+	}
+	return out
+}
+
+// RestoreInto refills the accumulators from a Snapshot row.
+func (s *AccumSet) RestoreInto(row []any) error {
+	if len(row) != len(s.Accums) {
+		return fmt.Errorf("operators: accumulator set snapshot has %d entries, want %d",
+			len(row), len(s.Accums))
+	}
+	for i := range s.Accums {
+		snap, ok := row[i].([]any)
+		if !ok {
+			return fmt.Errorf("operators: accumulator snapshot entry %d is %T", i, row[i])
+		}
+		if err := s.Accums[i].Restore(snap); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+package operators
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"samzasql/internal/kv"
+	"samzasql/internal/serde"
+	"samzasql/internal/sql/expr"
+	"samzasql/internal/sql/validate"
+)
+
+// AggStoreName is the task store the streaming aggregate operator uses.
+const AggStoreName = "samzasql-agg"
+
+// StreamAggregateOp implements grouped aggregation over streams (§4.3
+// "Hopping and tumbling windows are implemented in the streaming aggregate
+// operator"). Two emission modes:
+//
+//   - Windowed (HOP/TUMBLE in GROUP BY): per-window accumulators keyed by
+//     (window end, group key) live in the task's key-value store; a window
+//     emits when the event-time watermark passes its end, and tuples for
+//     already-emitted windows are discarded — the paper's timeout-expiry
+//     deviation from standard SQL semantics (§3).
+//
+//   - Unwindowed GROUP BY: the early-results policy — every input tuple
+//     emits the group's updated aggregate row immediately (an insert stream
+//     of partial results, §3.3).
+//
+// Replayed messages are detected via per-stream last-offset markers kept in
+// the same store, giving deterministic output across failure and replay.
+type StreamAggregateOp struct {
+	keys   []expr.Expr
+	window *validate.GroupWindow
+	aggs   []*validate.BoundAgg
+
+	keyEvals []expr.Evaluator
+	tsEval   expr.Evaluator
+
+	store     kv.Store
+	obj       serde.ObjectSerde
+	watermark int64
+	sources   sourceKeys
+}
+
+// NewStreamAggregateOp builds the operator from the bound query pieces.
+func NewStreamAggregateOp(keys []expr.Expr, window *validate.GroupWindow, aggs []*validate.BoundAgg) (*StreamAggregateOp, error) {
+	op := &StreamAggregateOp{keys: keys, window: window, aggs: aggs}
+	for _, k := range keys {
+		ev, err := expr.Compile(k)
+		if err != nil {
+			return nil, err
+		}
+		op.keyEvals = append(op.keyEvals, ev)
+	}
+	if window != nil {
+		ev, err := expr.Compile(window.Ts)
+		if err != nil {
+			return nil, err
+		}
+		op.tsEval = ev
+	}
+	return op, nil
+}
+
+// Open implements Operator.
+func (o *StreamAggregateOp) Open(ctx *OpContext) error {
+	o.store = ctx.Store(AggStoreName)
+	if v, ok := o.store.Get([]byte("wm")); ok && len(v) == 8 {
+		o.watermark = int64(binary.BigEndian.Uint64(v))
+	}
+	return nil
+}
+
+// Process implements Operator.
+func (o *StreamAggregateOp) Process(_ int, t *Tuple, emit Emit) error {
+	keyVals := make([]any, len(o.keyEvals))
+	for i, ev := range o.keyEvals {
+		v, err := ev(t.Row)
+		if err != nil {
+			return fmt.Errorf("operators: group key: %w", err)
+		}
+		keyVals[i] = v
+	}
+	if o.window == nil {
+		return o.processUnwindowed(keyVals, t, emit)
+	}
+	return o.processWindowed(keyVals, t, emit)
+}
+
+func (o *StreamAggregateOp) processUnwindowed(keyVals []any, t *Tuple, emit Emit) error {
+	storeKey, err := o.encodeKey(0, keyVals)
+	if err != nil {
+		return err
+	}
+	set, offsets, err := o.loadSet(storeKey)
+	if err != nil {
+		return err
+	}
+	// Replay dedup (§4.3): the state row remembers the last offset applied
+	// per source partition; re-delivered messages are no-ops, no output.
+	src := o.sources.key(t)
+	if offsets.seen(src, t.Offset) {
+		return nil
+	}
+	if err := set.Add(t.Row); err != nil {
+		return err
+	}
+	if err := o.saveSet(storeKey, set, offsets.update(src, t.Offset)); err != nil {
+		return err
+	}
+	// Early-results policy: emit the group's current row.
+	row := append(append([]any(nil), keyVals...), set.Values()...)
+	return emit(&Tuple{
+		Row: row, Ts: t.Ts, Key: storeKey,
+		Stream: t.Stream, Partition: t.Partition, Offset: t.Offset,
+	})
+}
+
+func (o *StreamAggregateOp) processWindowed(keyVals []any, t *Tuple, emit Emit) error {
+	tsv, err := o.tsEval(t.Row)
+	if err != nil {
+		return fmt.Errorf("operators: window timestamp: %w", err)
+	}
+	ts, ok := tsv.(int64)
+	if !ok {
+		return fmt.Errorf("operators: window timestamp is %T", tsv)
+	}
+	// Window ends are the emit boundaries e ≡ align (mod emit) with
+	// e in (ts, ts+retain]; each window covers [e-retain, e).
+	emitEvery := o.window.EmitMillis
+	retain := o.window.RetainMillis
+	align := o.window.AlignMillis
+	first := nextBoundary(ts, emitEvery, align)
+	for e := first; e <= ts+retain; e += emitEvery {
+		if e <= o.watermark {
+			continue // window already emitted; late tuple contribution dropped
+		}
+		storeKey, err := o.encodeKey(e, keyVals)
+		if err != nil {
+			return err
+		}
+		set, offsets, err := o.loadSet(storeKey)
+		if err != nil {
+			return err
+		}
+		src := o.sources.key(t)
+		if offsets.seen(src, t.Offset) {
+			continue // replayed message already contributed to this window
+		}
+		set.SetWindow(e-retain, e)
+		if err := set.Add(t.Row); err != nil {
+			return err
+		}
+		if err := o.saveSet(storeKey, set, offsets.update(src, t.Offset)); err != nil {
+			return err
+		}
+	}
+	// Advance the watermark and close any windows it passed.
+	if ts > o.watermark {
+		return o.advanceWatermark(ts, emit, t)
+	}
+	return nil
+}
+
+// nextBoundary returns the smallest e > ts with e ≡ align (mod every).
+func nextBoundary(ts, every, align int64) int64 {
+	base := ts - align
+	k := base / every
+	e := k*every + align
+	for e <= ts {
+		e += every
+	}
+	return e
+}
+
+// advanceWatermark emits every stored window whose end is <= the new
+// watermark, then persists it.
+func (o *StreamAggregateOp) advanceWatermark(ts int64, emit Emit, src *Tuple) error {
+	// Window store keys are "w:"+bigendian(end)+keyBytes, so a range scan
+	// up to the new watermark finds exactly the closed windows in end
+	// order — deterministic emission.
+	start := []byte("w:")
+	end := append([]byte("w:"), u64be(uint64(ts)+1)...)
+	closed := o.store.Range(start, end, 0)
+	for _, e := range closed {
+		winEnd := int64(binary.BigEndian.Uint64(e.Key[2:10]))
+		keyVals, set, err := o.decodeEntry(e)
+		if err != nil {
+			return err
+		}
+		set.SetWindow(winEnd-o.window.RetainMillis, winEnd)
+		row := append(append([]any(nil), keyVals...), set.Values()...)
+		if err := emit(&Tuple{
+			Row: row, Ts: winEnd, Key: e.Key,
+			Stream: src.Stream, Partition: src.Partition, Offset: src.Offset,
+		}); err != nil {
+			return err
+		}
+		o.store.Delete(e.Key)
+	}
+	o.watermark = ts
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(ts))
+	o.store.Put([]byte("wm"), buf[:])
+	return nil
+}
+
+func u64be(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// FlushFinal emits every window still open. The bounded (table-mode)
+// executor calls this at end of input, where "the history of the stream up
+// to the point of execution" (§3.3) is complete and all windows close.
+func (o *StreamAggregateOp) FlushFinal(emit Emit) error {
+	if o.window == nil {
+		return nil // unwindowed groups already emitted their latest rows
+	}
+	return o.advanceWatermark(int64(1)<<62, emit, &Tuple{})
+}
+
+// encodeKey builds the store key "w:" + windowEnd + object(groupKey).
+func (o *StreamAggregateOp) encodeKey(windowEnd int64, keyVals []any) ([]byte, error) {
+	kb, err := o.obj.Encode(keyVals)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 10+len(kb))
+	out = append(out, 'w', ':')
+	out = append(out, u64be(uint64(windowEnd))...)
+	return append(out, kb...), nil
+}
+
+func (o *StreamAggregateOp) decodeEntry(e kv.Entry) ([]any, *AccumSet, error) {
+	kv, err := o.obj.Decode(e.Key[10:])
+	if err != nil {
+		return nil, nil, err
+	}
+	keyVals := kv.([]any)
+	set, err := NewAccumSet(o.aggs)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, err := o.obj.Decode(e.Value)
+	if err != nil {
+		return nil, nil, err
+	}
+	row := snap.([]any)
+	if len(row) != 2 {
+		return nil, nil, fmt.Errorf("operators: aggregate state has %d fields", len(row))
+	}
+	snaps, ok := row[1].([]any)
+	if !ok {
+		return nil, nil, fmt.Errorf("operators: aggregate snapshots are %T", row[1])
+	}
+	if err := set.RestoreInto(snaps); err != nil {
+		return nil, nil, err
+	}
+	return keyVals, set, nil
+}
+
+// loadSet returns the accumulator set plus the per-source offset vector of
+// messages already folded in.
+func (o *StreamAggregateOp) loadSet(storeKey []byte) (*AccumSet, offsetVector, error) {
+	set, err := NewAccumSet(o.aggs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if v, ok := o.store.Get(storeKey); ok {
+		snap, err := o.obj.Decode(v)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := snap.([]any)
+		if len(row) != 2 {
+			return nil, nil, fmt.Errorf("operators: aggregate state has %d fields", len(row))
+		}
+		snaps, ok := row[1].([]any)
+		if !ok {
+			return nil, nil, fmt.Errorf("operators: aggregate snapshots are %T", row[1])
+		}
+		if err := set.RestoreInto(snaps); err != nil {
+			return nil, nil, err
+		}
+		vec, _ := row[0].([]any)
+		return set, offsetVector(vec), nil
+	}
+	return set, nil, nil
+}
+
+func (o *StreamAggregateOp) saveSet(storeKey []byte, set *AccumSet, offsets offsetVector) error {
+	row := []any{[]any(offsets), set.Snapshot()}
+	v, err := o.obj.Encode(row)
+	if err != nil {
+		return err
+	}
+	o.store.Put(storeKey, v)
+	return nil
+}
+
+// encodeGroupKey produces stable key bytes for a value tuple; shared by the
+// join and sliding-window operators.
+func encodeGroupKey(g serde.ObjectSerde, vals []any) ([]byte, error) {
+	return g.Encode(vals)
+}

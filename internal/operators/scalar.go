@@ -1,0 +1,89 @@
+package operators
+
+import (
+	"fmt"
+
+	"samzasql/internal/sql/expr"
+)
+
+// FilterOp drops tuples whose condition is not TRUE (NULL filters out, per
+// SQL semantics).
+type FilterOp struct {
+	cond expr.Evaluator
+}
+
+// NewFilterOp compiles the condition.
+func NewFilterOp(cond expr.Expr) (*FilterOp, error) {
+	ev, err := expr.Compile(cond)
+	if err != nil {
+		return nil, err
+	}
+	return &FilterOp{cond: ev}, nil
+}
+
+// Open implements Operator.
+func (*FilterOp) Open(*OpContext) error { return nil }
+
+// Process implements Operator.
+func (f *FilterOp) Process(_ int, t *Tuple, emit Emit) error {
+	v, err := f.cond(t.Row)
+	if err != nil {
+		return fmt.Errorf("operators: filter: %w", err)
+	}
+	if b, ok := v.(bool); ok && b {
+		return emit(t)
+	}
+	return nil
+}
+
+// ProjectOp computes the output expressions of a projection. When the
+// output row type carries a timestamp column (TsIdx >= 0), the produced
+// tuple's event time is refreshed from it so downstream windows keep
+// working (§3.4's recommendation to preserve timestamps).
+type ProjectOp struct {
+	evals []expr.Evaluator
+	// TsIdx is the output timestamp column, or -1.
+	TsIdx int
+}
+
+// NewProjectOp compiles the projections.
+func NewProjectOp(exprs []expr.Expr, tsIdx int) (*ProjectOp, error) {
+	evals := make([]expr.Evaluator, len(exprs))
+	for i, e := range exprs {
+		ev, err := expr.Compile(e)
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = ev
+	}
+	return &ProjectOp{evals: evals, TsIdx: tsIdx}, nil
+}
+
+// Open implements Operator.
+func (*ProjectOp) Open(*OpContext) error { return nil }
+
+// Process implements Operator.
+func (p *ProjectOp) Process(_ int, t *Tuple, emit Emit) error {
+	row := make([]any, len(p.evals))
+	for i, ev := range p.evals {
+		v, err := ev(t.Row)
+		if err != nil {
+			return fmt.Errorf("operators: project: %w", err)
+		}
+		row[i] = v
+	}
+	out := &Tuple{
+		Row:       row,
+		Ts:        t.Ts,
+		Key:       t.Key,
+		Stream:    t.Stream,
+		Partition: t.Partition,
+		Offset:    t.Offset,
+	}
+	if p.TsIdx >= 0 {
+		if ts, ok := row[p.TsIdx].(int64); ok {
+			out.Ts = ts
+		}
+	}
+	return emit(out)
+}

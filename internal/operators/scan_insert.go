@@ -1,0 +1,82 @@
+package operators
+
+import (
+	"fmt"
+
+	"samzasql/internal/avro"
+)
+
+// ScanOp decodes an incoming Avro message into the tuple-as-array
+// representation — the AvroToArray step of Figure 4 that every SamzaSQL
+// message pays and native jobs avoid (§5.1). When the source declares a
+// timestamp column the event time is read from it.
+type ScanOp struct {
+	Codec *avro.Codec
+	// TsIdx is the timestamp column index, or -1 to use the message time.
+	TsIdx int
+	// Stream is the source topic name (used for routing labels).
+	Stream string
+}
+
+// Open implements Operator.
+func (*ScanOp) Open(*OpContext) error { return nil }
+
+// Process is not used for ScanOp; scans convert raw messages via Decode.
+func (s *ScanOp) Process(_ int, t *Tuple, emit Emit) error { return emit(t) }
+
+// Decode converts one raw message into a tuple.
+func (s *ScanOp) Decode(value []byte, key []byte, msgTs int64, partition int32, offset int64) (*Tuple, error) {
+	row, err := s.Codec.DecodeRow(value, nil)
+	if err != nil {
+		return nil, fmt.Errorf("operators: scan decode (%s): %w", s.Stream, err)
+	}
+	t := &Tuple{
+		Row: row, Ts: msgTs, Key: key,
+		Stream: s.Stream, Partition: partition, Offset: offset,
+	}
+	if s.TsIdx >= 0 && s.TsIdx < len(row) {
+		if ts, ok := row[s.TsIdx].(int64); ok {
+			t.Ts = ts
+		}
+	}
+	return t, nil
+}
+
+// Sender abstracts the Samza message collector for the insert operator.
+type Sender func(stream string, partition int32, key, value []byte, ts int64) error
+
+// InsertOp encodes result rows back to Avro (the ArrayToAvro step of Figure
+// 4) and sends them to the output stream. Output preserves the source
+// partition unless the tuple carries an explicit key, in which case the
+// broker partitions by key.
+type InsertOp struct {
+	Codec  *avro.Codec
+	Target string
+	Send   Sender
+	// KeyByTupleKey selects key-based partitioning when tuples carry keys.
+	KeyByTupleKey bool
+}
+
+// Open implements Operator.
+func (*InsertOp) Open(*OpContext) error { return nil }
+
+// Process implements Operator.
+func (i *InsertOp) Process(_ int, t *Tuple, emit Emit) error {
+	value, err := i.Codec.EncodeRow(t.Row)
+	if err != nil {
+		return fmt.Errorf("operators: insert encode (%s): %w", i.Target, err)
+	}
+	partition := t.Partition
+	var key []byte
+	if i.KeyByTupleKey && len(t.Key) > 0 {
+		key = t.Key
+		partition = -1
+	}
+	if err := i.Send(i.Target, partition, key, value, t.Ts); err != nil {
+		return err
+	}
+	if emit != nil {
+		return emit(t)
+	}
+	return nil
+}

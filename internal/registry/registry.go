@@ -1,0 +1,159 @@
+// Package registry implements a schema registry in the style of the
+// Confluent registry the paper relies on (§3.2, §4.1): schemas are
+// registered under subjects (one per topic), receive globally unique IDs and
+// per-subject versions, and new versions are checked for backward
+// compatibility so running queries do not break on producer upgrades.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"samzasql/internal/avro"
+)
+
+// Errors returned by registry operations.
+var (
+	ErrNotFound     = errors.New("registry: not found")
+	ErrIncompatible = errors.New("registry: incompatible schema")
+)
+
+// Registered describes one registered schema version.
+type Registered struct {
+	ID      int32
+	Subject string
+	Version int32
+	Schema  *avro.Schema
+}
+
+// Registry is an in-process schema registry. Safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	nextID   int32
+	byID     map[int32]*Registered
+	versions map[string][]*Registered
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		byID:     map[int32]*Registered{},
+		versions: map[string][]*Registered{},
+	}
+}
+
+// Register adds a schema under subject, returning the assigned registration.
+// Re-registering a schema identical to the subject's latest returns the
+// existing registration. A new version must be backward compatible with the
+// latest: every existing field must keep its name, kind and nullability;
+// added fields must be nullable.
+func (r *Registry) Register(subject string, s *avro.Schema) (*Registered, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vs := r.versions[subject]
+	if len(vs) > 0 {
+		latest := vs[len(vs)-1]
+		if schemasEqual(latest.Schema, s) {
+			return latest, nil
+		}
+		if err := checkBackwardCompatible(latest.Schema, s); err != nil {
+			return nil, fmt.Errorf("%w: subject %q: %v", ErrIncompatible, subject, err)
+		}
+	}
+	r.nextID++
+	reg := &Registered{
+		ID:      r.nextID,
+		Subject: subject,
+		Version: int32(len(vs) + 1),
+		Schema:  s,
+	}
+	r.byID[reg.ID] = reg
+	r.versions[subject] = append(vs, reg)
+	return reg, nil
+}
+
+// ByID resolves a schema by its global ID.
+func (r *Registry) ByID(id int32) (*Registered, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	reg, ok := r.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: schema id %d", ErrNotFound, id)
+	}
+	return reg, nil
+}
+
+// Latest returns the newest version under subject.
+func (r *Registry) Latest(subject string) (*Registered, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	vs := r.versions[subject]
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("%w: subject %q", ErrNotFound, subject)
+	}
+	return vs[len(vs)-1], nil
+}
+
+// Version returns a specific version under subject (1-based).
+func (r *Registry) Version(subject string, version int32) (*Registered, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	vs := r.versions[subject]
+	if version < 1 || int(version) > len(vs) {
+		return nil, fmt.Errorf("%w: subject %q version %d", ErrNotFound, subject, version)
+	}
+	return vs[version-1], nil
+}
+
+// Subjects lists all subjects in sorted order.
+func (r *Registry) Subjects() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.versions))
+	for s := range r.versions {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func schemasEqual(a, b *avro.Schema) bool {
+	aj, err1 := a.MarshalJSON()
+	bj, err2 := b.MarshalJSON()
+	return err1 == nil && err2 == nil && string(aj) == string(bj)
+}
+
+func checkBackwardCompatible(old, new *avro.Schema) error {
+	if old.Kind != avro.KindRecord || new.Kind != avro.KindRecord {
+		if old.Kind != new.Kind || old.Nullable != new.Nullable {
+			return fmt.Errorf("type changed from %s to %s", old.Kind, new.Kind)
+		}
+		return nil
+	}
+	newFields := map[string]*avro.Schema{}
+	for _, f := range new.Fields {
+		newFields[f.Name] = f.Schema
+	}
+	for _, f := range old.Fields {
+		nf, ok := newFields[f.Name]
+		if !ok {
+			return fmt.Errorf("field %q removed", f.Name)
+		}
+		if nf.Kind != f.Schema.Kind || nf.Nullable != f.Schema.Nullable {
+			return fmt.Errorf("field %q changed from %s (nullable=%v) to %s (nullable=%v)",
+				f.Name, f.Schema.Kind, f.Schema.Nullable, nf.Kind, nf.Nullable)
+		}
+		delete(newFields, f.Name)
+	}
+	for name, s := range newFields {
+		if !s.Nullable {
+			return fmt.Errorf("added field %q must be nullable", name)
+		}
+	}
+	return nil
+}

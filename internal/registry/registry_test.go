@@ -1,0 +1,125 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+
+	"samzasql/internal/avro"
+)
+
+func baseSchema() *avro.Schema {
+	return avro.Record("Orders",
+		avro.F("rowtime", avro.Long()),
+		avro.F("productId", avro.Long()),
+	)
+}
+
+func TestRegisterAndResolve(t *testing.T) {
+	r := New()
+	reg, err := r.Register("Orders", baseSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.ID != 1 || reg.Version != 1 || reg.Subject != "Orders" {
+		t.Fatalf("registration %+v", reg)
+	}
+	byID, err := r.ByID(reg.ID)
+	if err != nil || byID.Schema.Name != "Orders" {
+		t.Fatalf("ByID: %+v %v", byID, err)
+	}
+	latest, err := r.Latest("Orders")
+	if err != nil || latest.ID != reg.ID {
+		t.Fatalf("Latest: %+v %v", latest, err)
+	}
+	if _, err := r.Latest("Nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Latest(unknown): %v", err)
+	}
+	if _, err := r.ByID(99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ByID(unknown): %v", err)
+	}
+}
+
+func TestRegisterIdempotentOnIdenticalSchema(t *testing.T) {
+	r := New()
+	a, err := r.Register("Orders", baseSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Register("Orders", baseSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != b.ID || b.Version != 1 {
+		t.Fatalf("re-registration created new version: %+v vs %+v", a, b)
+	}
+}
+
+func TestCompatibleEvolution(t *testing.T) {
+	r := New()
+	if _, err := r.Register("Orders", baseSchema()); err != nil {
+		t.Fatal(err)
+	}
+	v2 := avro.Record("Orders",
+		avro.F("rowtime", avro.Long()),
+		avro.F("productId", avro.Long()),
+		avro.F("note", avro.String().AsNullable()),
+	)
+	reg, err := r.Register("Orders", v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Version != 2 {
+		t.Fatalf("version %d, want 2", reg.Version)
+	}
+	got, err := r.Version("Orders", 1)
+	if err != nil || len(got.Schema.Fields) != 2 {
+		t.Fatalf("Version(1): %+v %v", got, err)
+	}
+}
+
+func TestIncompatibleEvolutionRejected(t *testing.T) {
+	r := New()
+	if _, err := r.Register("Orders", baseSchema()); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*avro.Schema{
+		// field removed
+		avro.Record("Orders", avro.F("rowtime", avro.Long())),
+		// field type changed
+		avro.Record("Orders", avro.F("rowtime", avro.String()), avro.F("productId", avro.Long())),
+		// non-nullable field added
+		avro.Record("Orders", avro.F("rowtime", avro.Long()), avro.F("productId", avro.Long()), avro.F("x", avro.Long())),
+	}
+	for i, s := range cases {
+		if _, err := r.Register("Orders", s); !errors.Is(err, ErrIncompatible) {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestSubjects(t *testing.T) {
+	r := New()
+	if _, err := r.Register("b", baseSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("a", baseSchema()); err != nil {
+		t.Fatal(err)
+	}
+	subs := r.Subjects()
+	if len(subs) != 2 || subs[0] != "a" || subs[1] != "b" {
+		t.Fatalf("Subjects() = %v", subs)
+	}
+}
+
+func TestVersionOutOfRange(t *testing.T) {
+	r := New()
+	if _, err := r.Register("s", baseSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Version("s", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Version(0): %v", err)
+	}
+	if _, err := r.Version("s", 2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Version(2): %v", err)
+	}
+}

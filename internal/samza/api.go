@@ -1,0 +1,92 @@
+// Package samza implements the distributed stream processing framework
+// SamzaSQL executes on, modeled on Apache Samza 0.9 (§2): jobs composed of
+// containers and tasks, partition-aligned task assignment, a Map/Reduce-like
+// StreamTask API, checkpoint streams, changelog-backed local state, and
+// bootstrap streams consumed to completion before regular input.
+package samza
+
+import (
+	"fmt"
+
+	"samzasql/internal/kafka"
+)
+
+// IncomingMessageEnvelope is one message delivered to a task's Process.
+type IncomingMessageEnvelope struct {
+	// Stream and Partition identify the source system-stream-partition.
+	Stream    string
+	Partition int32
+	// Offset is the message's position within the partition.
+	Offset int64
+	// Key and Value are the raw payload bytes; serdes are applied by the
+	// task (or by the SamzaSQL operator layer above it).
+	Key   []byte
+	Value []byte
+	// Timestamp is the producer-supplied event time (Unix millis).
+	Timestamp int64
+}
+
+// TP returns the envelope's topic-partition.
+func (e *IncomingMessageEnvelope) TP() kafka.TopicPartition {
+	return kafka.TopicPartition{Topic: e.Stream, Partition: e.Partition}
+}
+
+// OutgoingMessageEnvelope is one message a task emits via the collector.
+type OutgoingMessageEnvelope struct {
+	// Stream is the destination topic.
+	Stream string
+	// Partition selects an explicit partition; negative means partition by
+	// Key (or partition 0 for empty keys).
+	Partition int32
+	Key       []byte
+	Value     []byte
+	Timestamp int64
+}
+
+// MessageCollector receives messages a task produces during Process.
+type MessageCollector interface {
+	Send(env OutgoingMessageEnvelope) error
+}
+
+// Coordinator lets a task request commits and shutdown, mirroring Samza's
+// TaskCoordinator.
+type Coordinator interface {
+	// Commit requests a checkpoint after the current message completes.
+	Commit()
+	// Shutdown requests an orderly stop of the whole container after the
+	// current message completes.
+	Shutdown()
+}
+
+// StreamTask is the processing interface for one partition's worth of
+// messages, analogous to Samza's StreamTask. Implementations need not be
+// safe for concurrent use: the framework serializes calls per task.
+type StreamTask interface {
+	// Init is called once before any message is delivered, after local
+	// state has been restored from changelogs.
+	Init(ctx *TaskContext) error
+	// Process handles one message.
+	Process(env IncomingMessageEnvelope, collector MessageCollector, coord Coordinator) error
+}
+
+// WindowableTask is implemented by tasks that want periodic Window calls
+// (used by hopping/tumbling aggregate operators to emit on intervals).
+type WindowableTask interface {
+	// Window fires on the job's configured window interval.
+	Window(collector MessageCollector, coord Coordinator) error
+}
+
+// ClosableTask is implemented by tasks that hold resources to release at
+// shutdown.
+type ClosableTask interface {
+	Close() error
+}
+
+// TaskName names a task within a job; Samza names tasks after the partition
+// they own.
+type TaskName string
+
+// TaskNameFor builds the canonical task name for a partition.
+func TaskNameFor(partition int32) TaskName {
+	return TaskName(fmt.Sprintf("Partition-%d", partition))
+}

@@ -1,0 +1,84 @@
+package samza
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"samzasql/internal/kafka"
+)
+
+// Checkpoint records, per input topic, the next offset a task should consume
+// from its partition. Samza writes these to a Kafka checkpoint stream (§2
+// "Durability", Figure 1); we use a compacted topic keyed by task name.
+type Checkpoint struct {
+	Task    TaskName         `json:"task"`
+	Offsets map[string]int64 `json:"offsets"` // topic -> next offset
+}
+
+// CheckpointManager reads and writes task checkpoints for one job.
+type CheckpointManager struct {
+	broker *kafka.Broker
+	topic  string
+}
+
+// NewCheckpointManager ensures the checkpoint topic exists and returns a
+// manager for it.
+func NewCheckpointManager(b *kafka.Broker, job *JobSpec) (*CheckpointManager, error) {
+	topic := job.CheckpointTopic()
+	if err := b.EnsureTopic(topic, kafka.TopicConfig{Partitions: 1, Compacted: true}); err != nil {
+		return nil, fmt.Errorf("samza: checkpoint topic: %w", err)
+	}
+	return &CheckpointManager{broker: b, topic: topic}, nil
+}
+
+// Write appends a checkpoint for the task.
+func (m *CheckpointManager) Write(cp Checkpoint) error {
+	val, err := json.Marshal(cp)
+	if err != nil {
+		return err
+	}
+	_, err = m.broker.Produce(m.topic, kafka.Message{
+		Partition: 0,
+		Key:       []byte(cp.Task),
+		Value:     val,
+	})
+	return err
+}
+
+// Read returns the most recent checkpoint for the task, or ok=false if the
+// task has never checkpointed.
+func (m *CheckpointManager) Read(task TaskName) (Checkpoint, bool, error) {
+	tp := kafka.TopicPartition{Topic: m.topic, Partition: 0}
+	start, err := m.broker.StartOffset(tp)
+	if err != nil {
+		return Checkpoint{}, false, err
+	}
+	hwm, err := m.broker.HighWatermark(tp)
+	if err != nil {
+		return Checkpoint{}, false, err
+	}
+	var latest Checkpoint
+	found := false
+	off := start
+	for off < hwm {
+		msgs, wait, err := m.broker.Fetch(tp, off, 256)
+		if err != nil {
+			return Checkpoint{}, false, err
+		}
+		if wait != nil {
+			break
+		}
+		for _, msg := range msgs {
+			if string(msg.Key) != string(task) {
+				continue
+			}
+			var cp Checkpoint
+			if err := json.Unmarshal(msg.Value, &cp); err != nil {
+				return Checkpoint{}, false, fmt.Errorf("samza: corrupt checkpoint at %s@%d: %w", tp, msg.Offset, err)
+			}
+			latest, found = cp, true
+		}
+		off = msgs[len(msgs)-1].Offset + 1
+	}
+	return latest, found, nil
+}

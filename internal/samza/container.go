@@ -1,0 +1,382 @@
+package samza
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"samzasql/internal/kafka"
+	"samzasql/internal/kv"
+	"samzasql/internal/metrics"
+)
+
+// TaskContext is handed to StreamTask.Init, exposing the task's identity,
+// configuration, local stores and metrics — the Samza TaskContext analog.
+type TaskContext struct {
+	// Job is the owning job's spec.
+	Job *JobSpec
+	// Task is this task's name.
+	Task TaskName
+	// Partition is the input partition this task owns across all inputs.
+	Partition int32
+	// Metrics is the container's metric registry.
+	Metrics *metrics.Registry
+	// Config aliases the job's Config map.
+	Config map[string]string
+
+	stores map[string]kv.Store
+}
+
+// Store returns the named local store declared in the job spec. It panics on
+// undeclared names — that is a programming error in the job, not a runtime
+// condition.
+func (c *TaskContext) Store(name string) kv.Store {
+	s, ok := c.stores[name]
+	if !ok {
+		panic(fmt.Sprintf("samza: task %s requested undeclared store %q", c.Task, name))
+	}
+	return s
+}
+
+// collector implements MessageCollector over the broker.
+type collector struct {
+	broker *kafka.Broker
+	sent   *metrics.Counter
+}
+
+func (c *collector) Send(env OutgoingMessageEnvelope) error {
+	part := env.Partition
+	if part >= 0 {
+		// explicit partition
+	} else {
+		part = -1 // broker partitions by key
+	}
+	_, err := c.broker.Produce(env.Stream, kafka.Message{
+		Partition: part,
+		Key:       env.Key,
+		Value:     env.Value,
+		Timestamp: env.Timestamp,
+	})
+	if err == nil {
+		c.sent.Inc()
+	}
+	return err
+}
+
+// coordinatorState implements Coordinator.
+type coordinatorState struct {
+	commitRequested   bool
+	shutdownRequested bool
+}
+
+func (c *coordinatorState) Commit()   { c.commitRequested = true }
+func (c *coordinatorState) Shutdown() { c.shutdownRequested = true }
+
+// taskInstance is one running task inside a container.
+type taskInstance struct {
+	name      TaskName
+	partition int32
+	task      StreamTask
+	consumer  *kafka.Consumer
+	ctx       *TaskContext
+	changelog []*kv.ChangelogStore
+	processed int // messages since last commit
+	sinceWin  int // messages since last window fire
+	// delivered holds, per input topic, the offset after the last message
+	// the task finished processing. Checkpoints are written from here, not
+	// from the consumer position: the consumer advances a whole fetched
+	// batch at once, and committing its position mid-batch would skip
+	// unprocessed messages after a crash.
+	delivered map[string]int64
+}
+
+// Container runs a set of tasks against the broker, mirroring a Samza
+// container: restore state, bootstrap, then the poll-process-commit loop.
+type Container struct {
+	ID      int
+	job     *JobSpec
+	broker  *kafka.Broker
+	cpm     *CheckpointManager
+	tasks   []*taskInstance
+	Metrics *metrics.Registry
+}
+
+// newContainer builds (but does not run) a container for the given task
+// partition list.
+func newContainer(id int, job *JobSpec, broker *kafka.Broker, cpm *CheckpointManager, partitions []int32, inputPartitions int32) (*Container, error) {
+	c := &Container{
+		ID:      id,
+		job:     job,
+		broker:  broker,
+		cpm:     cpm,
+		Metrics: metrics.NewRegistry(),
+	}
+	for _, p := range partitions {
+		ti, err := c.buildTask(p, inputPartitions)
+		if err != nil {
+			return nil, err
+		}
+		c.tasks = append(c.tasks, ti)
+	}
+	return c, nil
+}
+
+func (c *Container) buildTask(partition, inputPartitions int32) (*taskInstance, error) {
+	name := TaskNameFor(partition)
+	stores := map[string]kv.Store{}
+	var changelogs []*kv.ChangelogStore
+	for _, spec := range c.job.Stores {
+		base := kv.NewStore()
+		if spec.Changelog {
+			cl, err := kv.NewChangelogStore(base, c.broker, c.job.ChangelogTopic(spec.Name), inputPartitions, partition)
+			if err != nil {
+				return nil, err
+			}
+			stores[spec.Name] = cl
+			changelogs = append(changelogs, cl)
+		} else {
+			stores[spec.Name] = base
+		}
+	}
+	tctx := &TaskContext{
+		Job:       c.job,
+		Task:      name,
+		Partition: partition,
+		Metrics:   c.Metrics,
+		Config:    c.job.Config,
+		stores:    stores,
+	}
+	consumer := kafka.NewConsumer(c.broker, c.job.Name)
+	return &taskInstance{
+		name:      name,
+		partition: partition,
+		task:      c.job.TaskFactory(),
+		consumer:  consumer,
+		ctx:       tctx,
+		changelog: changelogs,
+		delivered: map[string]int64{},
+	}, nil
+}
+
+// Run executes the container until ctx is cancelled, a task requests
+// shutdown, or a task returns an error. The returned error is nil on orderly
+// shutdown (including context cancellation).
+func (c *Container) Run(ctx context.Context) error {
+	// Phase 1: restore local state from changelogs (§4.3).
+	for _, ti := range c.tasks {
+		for _, cl := range ti.changelog {
+			if err := cl.Restore(); err != nil {
+				return fmt.Errorf("samza: %s state restore: %w", ti.name, err)
+			}
+		}
+	}
+	// Phase 2: position consumers from checkpoints.
+	for _, ti := range c.tasks {
+		cp, found, err := c.cpm.Read(ti.name)
+		if err != nil {
+			return fmt.Errorf("samza: %s checkpoint read: %w", ti.name, err)
+		}
+		for _, in := range c.job.Inputs {
+			tp := kafka.TopicPartition{Topic: in.Topic, Partition: ti.partition}
+			if err := ti.consumer.Assign(tp); err != nil {
+				return fmt.Errorf("samza: %s assign %s: %w", ti.name, tp, err)
+			}
+			if found {
+				if off, ok := cp.Offsets[in.Topic]; ok {
+					ti.consumer.Seek(tp, off)
+				}
+			}
+			if pos, ok := ti.consumer.Position(tp); ok {
+				ti.delivered[in.Topic] = pos
+			}
+		}
+	}
+	// Phase 3: initialize tasks (after state restore, per the API contract).
+	for _, ti := range c.tasks {
+		if err := ti.task.Init(ti.ctx); err != nil {
+			return fmt.Errorf("samza: %s init: %w", ti.name, err)
+		}
+	}
+	// Phase 4: drain bootstrap streams to their current high watermark
+	// before any other input is delivered (§2 "Bootstrap Streams").
+	coll := &collector{broker: c.broker, sent: c.Metrics.Counter("messages-sent")}
+	for _, ti := range c.tasks {
+		if err := c.bootstrap(ctx, ti, coll); err != nil {
+			return err
+		}
+	}
+	// Phase 5: main poll-process loop.
+	processed := c.Metrics.Counter("messages-processed")
+	for {
+		// One consumer per task: poll each task round-robin. Poll blocks
+		// only when every partition of that task is caught up, so iterate
+		// with a short non-blocking pass first.
+		anyDelivered := false
+		for _, ti := range c.tasks {
+			delivered, stop, err := c.pollTask(ctx, ti, coll, processed, false)
+			if err != nil {
+				return err
+			}
+			if stop {
+				return c.shutdown()
+			}
+			anyDelivered = anyDelivered || delivered
+		}
+		if !anyDelivered {
+			// Everything is caught up. Block briefly on the first task;
+			// the timeout bounds wake-up latency for the other tasks'
+			// partitions, which are re-checked on the next non-blocking
+			// pass.
+			waitCtx, cancel := context.WithTimeout(ctx, idleWait)
+			_, stop, err := c.pollTask(waitCtx, c.tasks[0], coll, processed, true)
+			cancel()
+			if err != nil {
+				return err
+			}
+			if stop {
+				return c.shutdown()
+			}
+		}
+		if ctx.Err() != nil {
+			return c.shutdown()
+		}
+	}
+}
+
+// bootstrap consumes each bootstrap stream partition from the consumer's
+// current position to the high watermark observed at start.
+func (c *Container) bootstrap(ctx context.Context, ti *taskInstance, coll MessageCollector) error {
+	for _, in := range c.job.Inputs {
+		if !in.Bootstrap {
+			continue
+		}
+		tp := kafka.TopicPartition{Topic: in.Topic, Partition: ti.partition}
+		hwm, err := c.broker.HighWatermark(tp)
+		if err != nil {
+			return err
+		}
+		pos, _ := ti.consumer.Position(tp)
+		for pos < hwm {
+			msgs, wait, err := c.broker.Fetch(tp, pos, 512)
+			if err != nil {
+				return fmt.Errorf("samza: %s bootstrap %s: %w", ti.name, tp, err)
+			}
+			if wait != nil {
+				break
+			}
+			for _, m := range msgs {
+				if m.Offset >= hwm {
+					break
+				}
+				env := IncomingMessageEnvelope{
+					Stream: m.Topic, Partition: m.Partition, Offset: m.Offset,
+					Key: m.Key, Value: m.Value, Timestamp: m.Timestamp,
+				}
+				coord := &coordinatorState{}
+				if err := ti.task.Process(env, coll, coord); err != nil {
+					return fmt.Errorf("samza: %s bootstrap process: %w", ti.name, err)
+				}
+				pos = m.Offset + 1
+			}
+			if ctx.Err() != nil {
+				return nil
+			}
+		}
+		ti.consumer.Seek(tp, pos)
+		ti.delivered[in.Topic] = pos
+	}
+	return nil
+}
+
+// idleWait bounds how long a fully caught-up container blocks before
+// re-scanning all of its tasks' partitions.
+const idleWait = 10 * time.Millisecond
+
+// pollTask delivers one batch to the task. Returns (delivered, stop, err).
+func (c *Container) pollTask(ctx context.Context, ti *taskInstance, coll MessageCollector, processed *metrics.Counter, blocking bool) (bool, bool, error) {
+	pollCtx := ctx
+	if !blocking {
+		// Non-blocking pass: poll with an already-cancelled child context
+		// trick is wrong; instead check lag first.
+		lag, err := ti.consumer.Lag()
+		if err != nil {
+			return false, false, err
+		}
+		if lag == 0 {
+			return false, false, nil
+		}
+	}
+	msgs, err := ti.consumer.Poll(pollCtx, 256)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return false, false, nil
+		}
+		return false, false, fmt.Errorf("samza: %s poll: %w", ti.name, err)
+	}
+	if len(msgs) == 0 {
+		return false, false, nil
+	}
+	for _, m := range msgs {
+		env := IncomingMessageEnvelope{
+			Stream: m.Topic, Partition: m.Partition, Offset: m.Offset,
+			Key: m.Key, Value: m.Value, Timestamp: m.Timestamp,
+		}
+		coord := &coordinatorState{}
+		if err := ti.task.Process(env, coll, coord); err != nil {
+			return true, false, fmt.Errorf("samza: %s process: %w", ti.name, err)
+		}
+		ti.delivered[env.Stream] = env.Offset + 1
+		processed.Inc()
+		ti.processed++
+		ti.sinceWin++
+
+		if wt, ok := ti.task.(WindowableTask); ok && c.job.WindowEvery > 0 && ti.sinceWin >= c.job.WindowEvery {
+			if err := wt.Window(coll, coord); err != nil {
+				return true, false, fmt.Errorf("samza: %s window: %w", ti.name, err)
+			}
+			ti.sinceWin = 0
+		}
+		needCommit := coord.commitRequested ||
+			(c.job.CommitEvery > 0 && ti.processed >= c.job.CommitEvery)
+		if needCommit {
+			if err := c.commitTask(ti); err != nil {
+				return true, false, err
+			}
+			ti.processed = 0
+		}
+		if coord.shutdownRequested {
+			return true, true, nil
+		}
+	}
+	return true, false, nil
+}
+
+// commitTask writes the task's current consumer positions as a checkpoint.
+func (c *Container) commitTask(ti *taskInstance) error {
+	cp := Checkpoint{Task: ti.name, Offsets: map[string]int64{}}
+	for topic, off := range ti.delivered {
+		cp.Offsets[topic] = off
+	}
+	if err := c.cpm.Write(cp); err != nil {
+		return fmt.Errorf("samza: %s checkpoint write: %w", ti.name, err)
+	}
+	c.Metrics.Counter("commits").Inc()
+	return nil
+}
+
+// shutdown commits all tasks and closes closable ones.
+func (c *Container) shutdown() error {
+	var firstErr error
+	for _, ti := range c.tasks {
+		if err := c.commitTask(ti); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if ct, ok := ti.task.(ClosableTask); ok {
+			if err := ct.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,129 @@
+package samza
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"samzasql/internal/kafka"
+	"samzasql/internal/metrics"
+	"samzasql/internal/yarn"
+)
+
+// JobRunner is the Samza YARN client analog: it plans the task assignment,
+// provisions checkpoint and changelog topics, and submits one YARN container
+// per Samza container. Each job gets its own application master (the YARN
+// Application) — Samza's masterless design (§2).
+type JobRunner struct {
+	Broker  *kafka.Broker
+	Cluster *yarn.Cluster
+	// Resource is the per-container resource request.
+	Resource yarn.Resource
+}
+
+// NewJobRunner builds a runner over the broker and cluster.
+func NewJobRunner(b *kafka.Broker, c *yarn.Cluster) *JobRunner {
+	return &JobRunner{
+		Broker:  b,
+		Cluster: c,
+		Resource: yarn.Resource{
+			VCores:   1,
+			MemoryMB: 1024,
+		},
+	}
+}
+
+// RunningJob is a handle to a submitted job.
+type RunningJob struct {
+	Spec *JobSpec
+	app  *yarn.Application
+
+	mu         sync.Mutex
+	containers []*Container
+}
+
+// Submit validates the job, plans the assignment and launches containers on
+// the cluster. The job runs until Stop is called or ctx is cancelled.
+func (r *JobRunner) Submit(ctx context.Context, job *JobSpec) (*RunningJob, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	a, err := planAssignment(r.Broker, job)
+	if err != nil {
+		return nil, err
+	}
+	cpm, err := NewCheckpointManager(r.Broker, job)
+	if err != nil {
+		return nil, err
+	}
+	inputPartitions := int32(len(a.taskPartitions))
+
+	rj := &RunningJob{Spec: job}
+	specs := make([]yarn.ContainerSpec, len(a.containerTasks))
+	for ci, taskIdxs := range a.containerTasks {
+		partitions := make([]int32, len(taskIdxs))
+		for i, t := range taskIdxs {
+			partitions[i] = a.taskPartitions[t]
+		}
+		specs[ci] = yarn.ContainerSpec{
+			Resource:    r.Resource,
+			MaxRestarts: job.MaxRestarts,
+			Run: func(runCtx context.Context) error {
+				// A fresh Container per attempt: restart rebuilds state
+				// from changelogs and resumes from checkpoints.
+				cont, err := newContainer(ci, job, r.Broker, cpm, partitions, inputPartitions)
+				if err != nil {
+					return err
+				}
+				rj.mu.Lock()
+				rj.containers = append(rj.containers, cont)
+				rj.mu.Unlock()
+				return cont.Run(runCtx)
+			},
+		}
+	}
+	app, err := r.Cluster.Submit(ctx, job.Name, specs)
+	if err != nil {
+		return nil, fmt.Errorf("samza: submitting job %q: %w", job.Name, err)
+	}
+	rj.app = app
+	return rj, nil
+}
+
+// Stop cancels all containers and waits for them to exit.
+func (j *RunningJob) Stop() []yarn.ContainerStatus {
+	j.app.Stop()
+	return j.app.Wait()
+}
+
+// Wait blocks until every container exits on its own (shutdown request or
+// failure without restart budget).
+func (j *RunningJob) Wait() []yarn.ContainerStatus {
+	return j.app.Wait()
+}
+
+// MetricsSnapshot merges all container metric registries, summing values
+// across containers (the per-job totals the paper's harness multiplies out,
+// §5.1).
+func (j *RunningJob) MetricsSnapshot() map[string]int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := map[string]int64{}
+	for _, c := range j.containers {
+		for name, v := range c.Metrics.Snapshot() {
+			out[name] += v
+		}
+	}
+	return out
+}
+
+// ContainerMetrics returns each live container attempt's registry.
+func (j *RunningJob) ContainerMetrics() []*metrics.Registry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]*metrics.Registry, 0, len(j.containers))
+	for _, c := range j.containers {
+		out = append(out, c.Metrics)
+	}
+	return out
+}

@@ -1,0 +1,552 @@
+package samza
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"samzasql/internal/kafka"
+	"samzasql/internal/yarn"
+)
+
+// testEnv bundles a broker and a one-node cluster.
+func testEnv() (*kafka.Broker, *JobRunner) {
+	b := kafka.NewBroker()
+	c := yarn.NewCluster()
+	c.AddNode("n1", yarn.Resource{VCores: 64, MemoryMB: 1 << 20})
+	c.AddNode("n2", yarn.Resource{VCores: 64, MemoryMB: 1 << 20})
+	return b, NewJobRunner(b, c)
+}
+
+// passthroughTask copies every input message to an output topic.
+type passthroughTask struct {
+	out string
+}
+
+func (t *passthroughTask) Init(ctx *TaskContext) error { return nil }
+
+func (t *passthroughTask) Process(env IncomingMessageEnvelope, c MessageCollector, _ Coordinator) error {
+	return c.Send(OutgoingMessageEnvelope{
+		Stream:    t.out,
+		Partition: env.Partition,
+		Key:       env.Key,
+		Value:     env.Value,
+		Timestamp: env.Timestamp,
+	})
+}
+
+func produceN(t *testing.T, b *kafka.Broker, topic string, partition int32, n int, prefix string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		_, err := b.Produce(topic, kafka.Message{
+			Partition: partition,
+			Key:       []byte(fmt.Sprintf("%s-%d", prefix, i)),
+			Value:     []byte(fmt.Sprintf("%s-v%d", prefix, i)),
+			Timestamp: int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// drainTopic reads everything currently in a topic.
+func drainTopic(t *testing.T, b *kafka.Broker, topic string) []kafka.Message {
+	t.Helper()
+	n, err := b.Partitions(topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []kafka.Message
+	for p := int32(0); p < n; p++ {
+		tp := kafka.TopicPartition{Topic: topic, Partition: p}
+		hwm, _ := b.HighWatermark(tp)
+		off, _ := b.StartOffset(tp)
+		for off < hwm {
+			msgs, wait, err := b.Fetch(tp, off, 1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wait != nil {
+				break
+			}
+			out = append(out, msgs...)
+			off = msgs[len(msgs)-1].Offset + 1
+		}
+	}
+	return out
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	factory := func() StreamTask { return &passthroughTask{} }
+	cases := []struct {
+		name string
+		spec JobSpec
+		want string
+	}{
+		{"no name", JobSpec{Inputs: []StreamSpec{{Topic: "a"}}, TaskFactory: factory}, "name"},
+		{"no inputs", JobSpec{Name: "j", TaskFactory: factory}, "inputs"},
+		{"no factory", JobSpec{Name: "j", Inputs: []StreamSpec{{Topic: "a"}}}, "factory"},
+		{"dup input", JobSpec{Name: "j", Inputs: []StreamSpec{{Topic: "a"}, {Topic: "a"}}, TaskFactory: factory}, "twice"},
+		{"dup store", JobSpec{Name: "j", Inputs: []StreamSpec{{Topic: "a"}}, TaskFactory: factory,
+			Stores: []StoreSpec{{Name: "s"}, {Name: "s"}}}, "twice"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPlanAssignmentGroupsByPartition(t *testing.T) {
+	b := kafka.NewBroker()
+	if err := b.CreateTopic("in", kafka.TopicConfig{Partitions: 8}); err != nil {
+		t.Fatal(err)
+	}
+	job := &JobSpec{Name: "j", Inputs: []StreamSpec{{Topic: "in"}}, Containers: 3,
+		TaskFactory: func() StreamTask { return &passthroughTask{} }}
+	a, err := planAssignment(b, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.taskPartitions) != 8 {
+		t.Fatalf("%d tasks, want 8", len(a.taskPartitions))
+	}
+	if len(a.containerTasks) != 3 {
+		t.Fatalf("%d containers, want 3", len(a.containerTasks))
+	}
+	// Every task appears exactly once.
+	seen := map[int]bool{}
+	for _, tasks := range a.containerTasks {
+		for _, ti := range tasks {
+			if seen[ti] {
+				t.Fatalf("task %d assigned twice", ti)
+			}
+			seen[ti] = true
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("assigned %d tasks", len(seen))
+	}
+}
+
+func TestPlanAssignmentRejectsMismatchedInputs(t *testing.T) {
+	b := kafka.NewBroker()
+	if err := b.CreateTopic("a", kafka.TopicConfig{Partitions: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("bb", kafka.TopicConfig{Partitions: 8}); err != nil {
+		t.Fatal(err)
+	}
+	job := &JobSpec{Name: "j", Inputs: []StreamSpec{{Topic: "a"}, {Topic: "bb"}},
+		TaskFactory: func() StreamTask { return &passthroughTask{} }}
+	if _, err := planAssignment(b, job); err == nil || !strings.Contains(err.Error(), "disagree") {
+		t.Fatalf("mismatched partitions: %v", err)
+	}
+}
+
+func TestPlanAssignmentClampsContainers(t *testing.T) {
+	b := kafka.NewBroker()
+	if err := b.CreateTopic("in", kafka.TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	job := &JobSpec{Name: "j", Inputs: []StreamSpec{{Topic: "in"}}, Containers: 10,
+		TaskFactory: func() StreamTask { return &passthroughTask{} }}
+	a, err := planAssignment(b, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.containerTasks) != 2 {
+		t.Fatalf("%d containers for 2 partitions", len(a.containerTasks))
+	}
+}
+
+func TestEndToEndPassthrough(t *testing.T) {
+	b, r := testEnv()
+	for _, topic := range []string{"in", "out"} {
+		if err := b.CreateTopic(topic, kafka.TopicConfig{Partitions: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := int32(0); p < 4; p++ {
+		produceN(t, b, "in", p, 25, fmt.Sprintf("p%d", p))
+	}
+	job := &JobSpec{
+		Name:        "passthrough",
+		Inputs:      []StreamSpec{{Topic: "in"}},
+		Containers:  2,
+		TaskFactory: func() StreamTask { return &passthroughTask{out: "out"} },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rj, err := r.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return len(drainTopic(t, b, "out")) == 100
+	}, "100 output messages")
+	rj.Stop()
+
+	out := drainTopic(t, b, "out")
+	if len(out) != 100 {
+		t.Fatalf("%d output messages, want 100", len(out))
+	}
+	// Partition affinity: input partition p lands in output partition p.
+	counts := map[int32]int{}
+	for _, m := range out {
+		counts[m.Partition]++
+		wantPrefix := fmt.Sprintf("p%d-", m.Partition)
+		if !strings.HasPrefix(string(m.Key), wantPrefix) {
+			t.Fatalf("message %q in partition %d", m.Key, m.Partition)
+		}
+	}
+	for p := int32(0); p < 4; p++ {
+		if counts[p] != 25 {
+			t.Fatalf("partition %d has %d messages", p, counts[p])
+		}
+	}
+	snap := rj.MetricsSnapshot()
+	if snap["messages-processed"] != 100 || snap["messages-sent"] != 100 {
+		t.Fatalf("metrics %v", snap)
+	}
+}
+
+// countingTask records how many messages it processed and optionally crashes.
+type countingTask struct {
+	mu        *sync.Mutex
+	seen      map[string]int
+	crashAt   int // crash (once) when this many total messages seen; 0=never
+	crashed   *atomic.Bool
+	processed *atomic.Int64
+}
+
+func (t *countingTask) Init(ctx *TaskContext) error { return nil }
+
+func (t *countingTask) Process(env IncomingMessageEnvelope, c MessageCollector, _ Coordinator) error {
+	t.mu.Lock()
+	t.seen[string(env.Key)]++
+	t.mu.Unlock()
+	n := t.processed.Add(1)
+	if t.crashAt > 0 && n == int64(t.crashAt) && t.crashed.CompareAndSwap(false, true) {
+		return errors.New("injected task failure")
+	}
+	return nil
+}
+
+func TestCheckpointResumeAfterCrash(t *testing.T) {
+	b, r := testEnv()
+	if err := b.CreateTopic("in", kafka.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	produceN(t, b, "in", 0, 100, "m")
+
+	var mu sync.Mutex
+	seen := map[string]int{}
+	var crashed atomic.Bool
+	var processed atomic.Int64
+	job := &JobSpec{
+		Name:        "resume",
+		Inputs:      []StreamSpec{{Topic: "in"}},
+		CommitEvery: 10,
+		MaxRestarts: 2,
+		TaskFactory: func() StreamTask {
+			return &countingTask{mu: &mu, seen: seen, crashAt: 50, crashed: &crashed, processed: &processed}
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rj, err := r.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		complete := true
+		for i := 0; i < 100; i++ {
+			if seen[fmt.Sprintf("m-%d", i)] == 0 {
+				complete = false
+				break
+			}
+		}
+		return complete
+	}, "all 100 messages processed across crash")
+	rj.Stop()
+
+	if !crashed.Load() {
+		t.Fatal("crash was never injected")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// At-least-once: everything seen; replay window bounded by CommitEvery.
+	replayed := 0
+	for _, n := range seen {
+		if n > 1 {
+			replayed++
+		}
+	}
+	if replayed > 20 {
+		t.Fatalf("replayed %d messages; checkpoint resume not working", replayed)
+	}
+}
+
+// statefulTask counts per-key occurrences in a changelog-backed store.
+type statefulTask struct{}
+
+func (t *statefulTask) Init(ctx *TaskContext) error { return nil }
+
+func (t *statefulTask) Process(env IncomingMessageEnvelope, c MessageCollector, _ Coordinator) error {
+	return nil
+}
+
+func TestStateRestoreFromChangelog(t *testing.T) {
+	b, r := testEnv()
+	if err := b.CreateTopic("in", kafka.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	produceN(t, b, "in", 0, 60, "k")
+
+	// Task increments a store counter per message and crashes midway.
+	var crashed atomic.Bool
+	var restoredLen atomic.Int64
+	type counterTask struct {
+		ctx  *TaskContext
+		n    int
+		pass int
+	}
+	_ = counterTask{}
+
+	job := &JobSpec{
+		Name:        "stateful",
+		Inputs:      []StreamSpec{{Topic: "in"}},
+		Stores:      []StoreSpec{{Name: "counts", Changelog: true}},
+		CommitEvery: 10,
+		MaxRestarts: 2,
+		TaskFactory: func() StreamTask {
+			return &storeCrashTask{crashed: &crashed, restoredLen: &restoredLen}
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rj, err := r.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return restoredLen.Load() > 0 }, "task restart with restored state")
+	rj.Stop()
+	if got := restoredLen.Load(); got < 20 || got > 60 {
+		t.Fatalf("restored store had %d keys; changelog restore broken", got)
+	}
+}
+
+// storeCrashTask writes each key to its store, crashes at message 30, and on
+// restart records how many keys the restored store holds.
+type storeCrashTask struct {
+	ctx         *TaskContext
+	n           int
+	crashed     *atomic.Bool
+	restoredLen *atomic.Int64
+}
+
+func (t *storeCrashTask) Init(ctx *TaskContext) error {
+	t.ctx = ctx
+	if t.crashed.Load() {
+		t.restoredLen.Store(int64(ctx.Store("counts").Len()))
+	}
+	return nil
+}
+
+func (t *storeCrashTask) Process(env IncomingMessageEnvelope, c MessageCollector, _ Coordinator) error {
+	t.ctx.Store("counts").Put(env.Key, env.Value)
+	t.n++
+	if t.n == 30 && t.crashed.CompareAndSwap(false, true) {
+		return errors.New("injected failure after 30 writes")
+	}
+	return nil
+}
+
+// bootstrapProbeTask records the order in which streams deliver.
+type bootstrapProbeTask struct {
+	mu    *sync.Mutex
+	order *[]string
+}
+
+func (t *bootstrapProbeTask) Init(ctx *TaskContext) error { return nil }
+
+func (t *bootstrapProbeTask) Process(env IncomingMessageEnvelope, c MessageCollector, _ Coordinator) error {
+	t.mu.Lock()
+	*t.order = append(*t.order, env.Stream)
+	t.mu.Unlock()
+	return nil
+}
+
+func TestBootstrapStreamDrainsFirst(t *testing.T) {
+	b, r := testEnv()
+	for _, topic := range []string{"relation", "stream"} {
+		if err := b.CreateTopic(topic, kafka.TopicConfig{Partitions: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	produceN(t, b, "relation", 0, 30, "rel")
+	produceN(t, b, "stream", 0, 30, "str")
+
+	var mu sync.Mutex
+	var order []string
+	job := &JobSpec{
+		Name: "bootstrap",
+		Inputs: []StreamSpec{
+			{Topic: "stream"},
+			{Topic: "relation", Bootstrap: true},
+		},
+		TaskFactory: func() StreamTask { return &bootstrapProbeTask{mu: &mu, order: &order} },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rj, err := r.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(order) == 60
+	}, "all 60 messages")
+	rj.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < 30; i++ {
+		if order[i] != "relation" {
+			t.Fatalf("message %d came from %q before bootstrap drained", i, order[i])
+		}
+	}
+	for i := 30; i < 60; i++ {
+		if order[i] != "stream" {
+			t.Fatalf("message %d came from %q after bootstrap", i, order[i])
+		}
+	}
+}
+
+// windowProbeTask counts Window() invocations.
+type windowProbeTask struct {
+	windows *atomic.Int64
+}
+
+func (t *windowProbeTask) Init(ctx *TaskContext) error { return nil }
+func (t *windowProbeTask) Process(env IncomingMessageEnvelope, c MessageCollector, _ Coordinator) error {
+	return nil
+}
+func (t *windowProbeTask) Window(c MessageCollector, _ Coordinator) error {
+	t.windows.Add(1)
+	return nil
+}
+
+func TestWindowableTaskFires(t *testing.T) {
+	b, r := testEnv()
+	if err := b.CreateTopic("in", kafka.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	produceN(t, b, "in", 0, 100, "m")
+	var windows atomic.Int64
+	job := &JobSpec{
+		Name:        "windowed",
+		Inputs:      []StreamSpec{{Topic: "in"}},
+		WindowEvery: 10,
+		TaskFactory: func() StreamTask { return &windowProbeTask{windows: &windows} },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rj, err := r.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return windows.Load() >= 10 }, "10 window fires")
+	rj.Stop()
+}
+
+// shutdownTask asks the coordinator to stop after N messages.
+type shutdownTask struct {
+	n     int
+	limit int
+}
+
+func (t *shutdownTask) Init(ctx *TaskContext) error { return nil }
+func (t *shutdownTask) Process(env IncomingMessageEnvelope, c MessageCollector, coord Coordinator) error {
+	t.n++
+	if t.n >= t.limit {
+		coord.Shutdown()
+	}
+	return nil
+}
+
+func TestCoordinatorShutdown(t *testing.T) {
+	b, r := testEnv()
+	if err := b.CreateTopic("in", kafka.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	produceN(t, b, "in", 0, 50, "m")
+	job := &JobSpec{
+		Name:        "selfstop",
+		Inputs:      []StreamSpec{{Topic: "in"}},
+		TaskFactory: func() StreamTask { return &shutdownTask{limit: 20} },
+	}
+	rj, err := r.Submit(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []yarn.ContainerStatus, 1)
+	go func() { done <- rj.Wait() }()
+	select {
+	case statuses := <-done:
+		for _, s := range statuses {
+			if s.Err != nil {
+				t.Fatalf("container error: %v", s.Err)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never stopped after coordinator shutdown")
+	}
+}
+
+func TestCheckpointManagerRoundTrip(t *testing.T) {
+	b := kafka.NewBroker()
+	job := &JobSpec{Name: "cp"}
+	m, err := NewCheckpointManager(b, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := m.Read(TaskNameFor(0)); err != nil || found {
+		t.Fatalf("read of missing checkpoint: %v %v", found, err)
+	}
+	cp := Checkpoint{Task: TaskNameFor(0), Offsets: map[string]int64{"in": 42}}
+	if err := m.Write(cp); err != nil {
+		t.Fatal(err)
+	}
+	cp2 := Checkpoint{Task: TaskNameFor(0), Offsets: map[string]int64{"in": 99}}
+	if err := m.Write(cp2); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := m.Read(TaskNameFor(0))
+	if err != nil || !found || got.Offsets["in"] != 99 {
+		t.Fatalf("read: %+v %v %v", got, found, err)
+	}
+}

@@ -1,0 +1,169 @@
+package serde
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringSerdeRoundTrip(t *testing.T) {
+	s := StringSerde{}
+	b, err := s.Encode("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Decode(b)
+	if err != nil || v.(string) != "hello" {
+		t.Fatalf("decode: %v %v", v, err)
+	}
+	if _, err := s.Encode(42); !errors.Is(err, ErrWrongType) {
+		t.Fatalf("wrong type: %v", err)
+	}
+}
+
+func TestInt64SerdeRoundTrip(t *testing.T) {
+	s := Int64Serde{}
+	for _, n := range []int64{0, 1, -1, math.MaxInt64, math.MinInt64, 123456789} {
+		b, err := s.Encode(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.Decode(b)
+		if err != nil || v.(int64) != n {
+			t.Fatalf("round trip %d: %v %v", n, v, err)
+		}
+	}
+	if _, err := s.Decode([]byte{1, 2}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestInt64SerdeOrderPreserving(t *testing.T) {
+	s := Int64Serde{}
+	values := []int64{-100, -1, 0, 1, 7, 1000, math.MinInt64, math.MaxInt64}
+	type pair struct {
+		n int64
+		b []byte
+	}
+	pairs := make([]pair, len(values))
+	for i, n := range values {
+		b, _ := s.Encode(n)
+		pairs[i] = pair{n, b}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return bytes.Compare(pairs[i].b, pairs[j].b) < 0 })
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i-1].n >= pairs[i].n {
+			t.Fatalf("byte order violates numeric order: %d before %d", pairs[i-1].n, pairs[i].n)
+		}
+	}
+}
+
+func TestJSONSerdeRoundTrip(t *testing.T) {
+	s := JSONSerde{}
+	in := map[string]any{"a": float64(1), "b": "x", "c": []any{true, nil}}
+	b, err := s.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	if m["a"].(float64) != 1 || m["b"].(string) != "x" {
+		t.Fatalf("decoded %v", m)
+	}
+}
+
+func TestGobSerdeRowRoundTrip(t *testing.T) {
+	s := GobSerde{}
+	row := []any{int64(5), "abc", 3.14, true}
+	b, err := s.Encode(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := v.([]any)
+	if len(out) != 4 || out[0].(int64) != 5 || out[1].(string) != "abc" || out[2].(float64) != 3.14 || out[3].(bool) != true {
+		t.Fatalf("decoded %v", out)
+	}
+}
+
+func TestGobSerdeScalar(t *testing.T) {
+	s := GobSerde{}
+	b, err := s.Encode("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row := v.([]any); len(row) != 1 || row[0].(string) != "solo" {
+		t.Fatalf("decoded %v", v)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	for _, name := range []string{"string", "int64", "bytes", "json", "gob"} {
+		s, err := Lookup(name)
+		if err != nil || s.Name() != name {
+			t.Fatalf("Lookup(%q): %v %v", name, s, err)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown serde resolved")
+	}
+}
+
+// Property: int64 serde round-trips every value and preserves ordering
+// pairwise.
+func TestPropertyInt64Serde(t *testing.T) {
+	s := Int64Serde{}
+	f := func(a, b int64) bool {
+		ea, err1 := s.Encode(a)
+		eb, err2 := s.Encode(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		da, _ := s.Decode(ea)
+		db, _ := s.Decode(eb)
+		if da.(int64) != a || db.(int64) != b {
+			return false
+		}
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: string serde round-trips arbitrary strings.
+func TestPropertyStringSerde(t *testing.T) {
+	s := StringSerde{}
+	f := func(in string) bool {
+		b, err := s.Encode(in)
+		if err != nil {
+			return false
+		}
+		v, err := s.Decode(b)
+		return err == nil && v.(string) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package ast defines the abstract syntax tree for SamzaSQL's dialect:
+// standard SQL SELECT (with subqueries, joins, GROUP BY, HAVING, analytic
+// functions) plus the streaming extensions of §3 — the STREAM keyword,
+// HOP/TUMBLE grouped windows, OVER-clause sliding windows, and INTERVAL
+// window bounds inside join conditions.
+//
+// Every node implements String() producing parseable SQL, so queries can be
+// round-tripped (used by property tests and by the shell's EXPLAIN output).
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"samzasql/internal/sql/token"
+)
+
+// QuoteIdent renders an identifier, double-quoting it when it is not a
+// plain unreserved name, so that printed statements re-parse (the task-side
+// planner re-parses the shell's printed query, §4.2).
+func QuoteIdent(s string) string {
+	plain := s != ""
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			plain = false
+			break
+		}
+	}
+	if plain && token.KeywordKind(strings.ToUpper(s)) != token.IDENT {
+		plain = false
+	}
+	if plain {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+func quoteAll(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = QuoteIdent(n)
+	}
+	return out
+}
+
+// Statement is a top-level SQL statement.
+type Statement interface {
+	fmt.Stringer
+	stmtNode()
+}
+
+// SelectStmt is a (possibly streaming) query.
+type SelectStmt struct {
+	// Stream is true when SELECT STREAM was written (§3.3).
+	Stream   bool
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+}
+
+func (*SelectStmt) stmtNode() {}
+
+// SelectItem is one projection: an expression with an optional alias, or a
+// star.
+type SelectItem struct {
+	// Star is set for `*` or `alias.*`; Expr is nil in that case and
+	// StarTable holds the qualifier ("" for a bare star).
+	Star      bool
+	StarTable string
+	Expr      Expr
+	Alias     string
+}
+
+func (s SelectItem) String() string {
+	if s.Star {
+		if s.StarTable != "" {
+			return QuoteIdent(s.StarTable) + ".*"
+		}
+		return "*"
+	}
+	if s.Alias != "" {
+		return fmt.Sprintf("%s AS %s", s.Expr, QuoteIdent(s.Alias))
+	}
+	return s.Expr.String()
+}
+
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Stream {
+		sb.WriteString("STREAM ")
+	}
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.String())
+	}
+	if s.From != nil {
+		sb.WriteString(" FROM ")
+		sb.WriteString(s.From.String())
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.String())
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(s.Having.String())
+	}
+	return sb.String()
+}
+
+// CreateViewStmt is CREATE VIEW name [(cols)] AS select (§3.5).
+type CreateViewStmt struct {
+	Name    string
+	Columns []string
+	Select  *SelectStmt
+}
+
+func (*CreateViewStmt) stmtNode() {}
+
+func (c *CreateViewStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("CREATE VIEW ")
+	sb.WriteString(QuoteIdent(c.Name))
+	if len(c.Columns) > 0 {
+		sb.WriteString(" (")
+		sb.WriteString(strings.Join(quoteAll(c.Columns), ", "))
+		sb.WriteString(")")
+	}
+	sb.WriteString(" AS ")
+	sb.WriteString(c.Select.String())
+	return sb.String()
+}
+
+// InsertStmt is INSERT INTO stream SELECT ..., used to route a query's
+// output to a named stream.
+type InsertStmt struct {
+	Target  string
+	Columns []string
+	Select  *SelectStmt
+}
+
+func (*InsertStmt) stmtNode() {}
+
+func (i *InsertStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO ")
+	sb.WriteString(QuoteIdent(i.Target))
+	if len(i.Columns) > 0 {
+		sb.WriteString(" (")
+		sb.WriteString(strings.Join(quoteAll(i.Columns), ", "))
+		sb.WriteString(")")
+	}
+	sb.WriteString(" ")
+	sb.WriteString(i.Select.String())
+	return sb.String()
+}
+
+// TableRef is a FROM-clause item.
+type TableRef interface {
+	fmt.Stringer
+	tableRefNode()
+}
+
+// TableName references a stream, table or view by name.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+func (*TableName) tableRefNode() {}
+
+func (t *TableName) String() string {
+	if t.Alias != "" {
+		return QuoteIdent(t.Name) + " AS " + QuoteIdent(t.Alias)
+	}
+	return QuoteIdent(t.Name)
+}
+
+// SubqueryRef is a parenthesized SELECT in FROM.
+type SubqueryRef struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+func (*SubqueryRef) tableRefNode() {}
+
+func (s *SubqueryRef) String() string {
+	out := "(" + s.Select.String() + ")"
+	if s.Alias != "" {
+		out += " AS " + QuoteIdent(s.Alias)
+	}
+	return out
+}
+
+// JoinKind enumerates supported join types.
+type JoinKind int
+
+// Join kinds.
+const (
+	InnerJoin JoinKind = iota
+	LeftJoin
+	RightJoin
+	FullJoin
+)
+
+func (k JoinKind) String() string {
+	switch k {
+	case LeftJoin:
+		return "LEFT JOIN"
+	case RightJoin:
+		return "RIGHT JOIN"
+	case FullJoin:
+		return "FULL JOIN"
+	default:
+		return "JOIN"
+	}
+}
+
+// JoinRef is an explicit join with an ON condition (§3.8).
+type JoinRef struct {
+	Kind  JoinKind
+	Left  TableRef
+	Right TableRef
+	On    Expr
+}
+
+func (*JoinRef) tableRefNode() {}
+
+func (j *JoinRef) String() string {
+	return fmt.Sprintf("%s %s %s ON %s", j.Left, j.Kind, j.Right, j.On)
+}

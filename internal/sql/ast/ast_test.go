@@ -1,0 +1,147 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuoteIdentPlainNames(t *testing.T) {
+	for _, name := range []string{"orders", "productId", "a", "_x", "t1"} {
+		if got := QuoteIdent(name); got != name {
+			t.Errorf("QuoteIdent(%q) = %q, want unquoted", name, got)
+		}
+	}
+}
+
+func TestQuoteIdentQuotesWhenNeeded(t *testing.T) {
+	cases := map[string]string{
+		"big-orders":  `"big-orders"`,
+		"two words":   `"two words"`,
+		"1leading":    `"1leading"`,
+		"":            `""`,
+		`has"quote`:   `"has""quote"`,
+		"SELECT":      `"SELECT"`, // reserved word
+		"stream":      `"stream"`, // reserved word, any case
+		"Group":       `"Group"`,
+		"dotted.name": `"dotted.name"`,
+	}
+	for in, want := range cases {
+		if got := QuoteIdent(in); got != want {
+			t.Errorf("QuoteIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: a statement built around any identifier prints and re-lexes to
+// the same identifier (the §4.2 task-side re-parse invariant).
+func TestPropertyQuoteIdentRoundTrips(t *testing.T) {
+	f := func(name string) bool {
+		if name == "" || strings.ContainsAny(name, "\n\r\x00") {
+			return true
+		}
+		stmt := &SelectStmt{
+			Items: []SelectItem{{Expr: &Ident{Parts: []string{name}}}},
+			From:  &TableName{Name: name},
+		}
+		printed := stmt.String()
+		// The printed form must contain the quoted identifier form.
+		return strings.Contains(printed, QuoteIdent(name))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatementStrings(t *testing.T) {
+	sel := &SelectStmt{
+		Stream: true,
+		Items: []SelectItem{
+			{Expr: &Ident{Parts: []string{"rowtime"}}},
+			{Expr: &FuncCall{Name: "COUNT", Star: true}, Alias: "c"},
+		},
+		From:    &TableName{Name: "Orders"},
+		Where:   &Binary{Op: OpGt, L: &Ident{Parts: []string{"units"}}, R: NewIntLit(5)},
+		GroupBy: []Expr{&Ident{Parts: []string{"rowtime"}}},
+		Having:  &Binary{Op: OpGt, L: &FuncCall{Name: "COUNT", Star: true}, R: NewIntLit(1)},
+	}
+	s := sel.String()
+	for _, want := range []string{"SELECT STREAM", "COUNT(*) AS c", "FROM Orders", "WHERE", "GROUP BY", "HAVING"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("select string %q missing %q", s, want)
+		}
+	}
+
+	join := &JoinRef{
+		Kind:  InnerJoin,
+		Left:  &TableName{Name: "A"},
+		Right: &TableName{Name: "B", Alias: "b"},
+		On:    &Binary{Op: OpEq, L: &Ident{Parts: []string{"A", "x"}}, R: &Ident{Parts: []string{"b", "x"}}},
+	}
+	js := join.String()
+	if !strings.Contains(js, "A JOIN B AS b ON") {
+		t.Errorf("join string %q", js)
+	}
+
+	for _, tc := range []struct {
+		kind JoinKind
+		want string
+	}{{LeftJoin, "LEFT JOIN"}, {RightJoin, "RIGHT JOIN"}, {FullJoin, "FULL JOIN"}, {InnerJoin, "JOIN"}} {
+		if tc.kind.String() != tc.want {
+			t.Errorf("JoinKind %v = %q", tc.kind, tc.kind.String())
+		}
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&StringLit{V: "it's"}, "'it''s'"},
+		{&BoolLit{V: true}, "TRUE"},
+		{&NullLit{}, "NULL"},
+		{&Between{X: &Ident{Parts: []string{"a"}}, Lo: NewIntLit(1), Hi: NewIntLit(2)}, "(a BETWEEN 1 AND 2)"},
+		{&IsNull{X: &Ident{Parts: []string{"a"}}, Not: true}, "(a IS NOT NULL)"},
+		{&Unary{Op: OpNeg, X: NewIntLit(5)}, "(-5)"},
+		{&Cast{X: &Ident{Parts: []string{"a"}}, TypeName: "DOUBLE"}, "CAST(a AS DOUBLE)"},
+		{&FloorTo{X: &Ident{Parts: []string{"ts"}}, Unit: UnitHour}, "FLOOR(ts TO HOUR)"},
+		{&TimeLit{Text: "0:30", Millis: 1800000}, "TIME '0:30'"},
+	}
+	for _, tc := range cases {
+		if got := tc.e.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestTimeUnitMillis(t *testing.T) {
+	if UnitSecond.Millis() != 1000 || UnitMinute.Millis() != 60000 ||
+		UnitHour.Millis() != 3600000 || UnitDay.Millis() != 86400000 {
+		t.Fatal("time unit conversions broken")
+	}
+	if UnitMonth.Millis() != 30*86400000 || UnitYear.Millis() != 365*86400000 {
+		t.Fatal("calendar approximations broken")
+	}
+}
+
+func TestWindowSpecString(t *testing.T) {
+	w := &WindowSpec{
+		PartitionBy: []Expr{&Ident{Parts: []string{"productId"}}},
+		OrderBy:     []Expr{&Ident{Parts: []string{"rowtime"}}},
+		Frame: &WindowFrame{
+			Unit:      FrameRange,
+			Preceding: &IntervalLit{Text: "5", Unit: UnitMinute, Millis: 300000},
+		},
+	}
+	s := w.String()
+	for _, want := range []string{"PARTITION BY productId", "ORDER BY rowtime", "RANGE INTERVAL '5' MINUTE PRECEDING"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("window spec %q missing %q", s, want)
+		}
+	}
+	unbounded := &WindowFrame{Unit: FrameRows}
+	if unbounded.String() != "ROWS UNBOUNDED PRECEDING" {
+		t.Errorf("frame %q", unbounded.String())
+	}
+}

@@ -1,0 +1,302 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"samzasql/internal/sql/types"
+	"samzasql/internal/sql/udf"
+)
+
+// ScalarFunc describes a builtin scalar function's typing rule.
+type ScalarFunc struct {
+	Name string
+	// MinArgs/MaxArgs bound the argument count (MaxArgs<0 = variadic).
+	MinArgs, MaxArgs int
+	// ResultType computes the result type from argument types.
+	ResultType func(args []types.Type) (types.Type, error)
+}
+
+// Builtins lists the scalar functions the binder accepts.
+var Builtins = map[string]*ScalarFunc{
+	"GREATEST": {Name: "GREATEST", MinArgs: 1, MaxArgs: -1, ResultType: commonArgs},
+	"LEAST":    {Name: "LEAST", MinArgs: 1, MaxArgs: -1, ResultType: commonArgs},
+	"COALESCE": {Name: "COALESCE", MinArgs: 1, MaxArgs: -1, ResultType: commonArgs},
+	"ABS":      {Name: "ABS", MinArgs: 1, MaxArgs: 1, ResultType: firstArg},
+	"MOD":      {Name: "MOD", MinArgs: 2, MaxArgs: 2, ResultType: commonArgs},
+	"POWER":    {Name: "POWER", MinArgs: 2, MaxArgs: 2, ResultType: alwaysDouble},
+	"SQRT":     {Name: "SQRT", MinArgs: 1, MaxArgs: 1, ResultType: alwaysDouble},
+	"LN":       {Name: "LN", MinArgs: 1, MaxArgs: 1, ResultType: alwaysDouble},
+	"FLOOR":    {Name: "FLOOR", MinArgs: 1, MaxArgs: 1, ResultType: firstArg},
+	"CEIL":     {Name: "CEIL", MinArgs: 1, MaxArgs: 1, ResultType: firstArg},
+	"UPPER":    {Name: "UPPER", MinArgs: 1, MaxArgs: 1, ResultType: alwaysVarchar},
+	"LOWER":    {Name: "LOWER", MinArgs: 1, MaxArgs: 1, ResultType: alwaysVarchar},
+	"TRIM":     {Name: "TRIM", MinArgs: 1, MaxArgs: 1, ResultType: alwaysVarchar},
+	"SUBSTRING": {Name: "SUBSTRING", MinArgs: 2, MaxArgs: 3,
+		ResultType: alwaysVarchar},
+	"CHAR_LENGTH": {Name: "CHAR_LENGTH", MinArgs: 1, MaxArgs: 1,
+		ResultType: alwaysBigint},
+}
+
+func commonArgs(args []types.Type) (types.Type, error) {
+	t := args[0]
+	var err error
+	for _, a := range args[1:] {
+		t, err = types.Common(t, a)
+		if err != nil {
+			return types.Unknown, err
+		}
+	}
+	return t, nil
+}
+
+func firstArg(args []types.Type) (types.Type, error) { return args[0], nil }
+func alwaysDouble([]types.Type) (types.Type, error)  { return types.Double, nil }
+func alwaysVarchar([]types.Type) (types.Type, error) { return types.Varchar, nil }
+func alwaysBigint([]types.Type) (types.Type, error)  { return types.Bigint, nil }
+
+func compileCall(n *Call) (Evaluator, error) {
+	args := make([]Evaluator, len(n.Args))
+	for i, a := range n.Args {
+		ev, err := Compile(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = ev
+	}
+	evalArgs := func(row []any) ([]any, error) {
+		out := make([]any, len(args))
+		for i, a := range args {
+			v, err := a(row)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch n.Fn {
+	case "GREATEST", "LEAST":
+		wantGreatest := n.Fn == "GREATEST"
+		return func(row []any) (any, error) {
+			vs, err := evalArgs(row)
+			if err != nil {
+				return nil, err
+			}
+			var best any
+			for _, v := range vs {
+				if v == nil {
+					return nil, nil // SQL: NULL argument => NULL
+				}
+				if best == nil {
+					best = v
+					continue
+				}
+				c, err := CompareValues(v, best)
+				if err != nil {
+					return nil, err
+				}
+				if (wantGreatest && c > 0) || (!wantGreatest && c < 0) {
+					best = v
+				}
+			}
+			return best, nil
+		}, nil
+	case "COALESCE":
+		return func(row []any) (any, error) {
+			for _, a := range args {
+				v, err := a(row)
+				if err != nil {
+					return nil, err
+				}
+				if v != nil {
+					return v, nil
+				}
+			}
+			return nil, nil
+		}, nil
+	case "ABS":
+		return unaryNumeric(args[0], func(i int64) any { return absI(i) },
+			func(f float64) any { return math.Abs(f) }), nil
+	case "MOD":
+		return func(row []any) (any, error) {
+			vs, err := evalArgs(row)
+			if err != nil {
+				return nil, err
+			}
+			if vs[0] == nil || vs[1] == nil {
+				return nil, nil
+			}
+			a, aok := vs[0].(int64)
+			b, bok := vs[1].(int64)
+			if aok && bok {
+				return intArith(Mod, a, b)
+			}
+			af, err := toFloat(vs[0])
+			if err != nil {
+				return nil, err
+			}
+			bf, err := toFloat(vs[1])
+			if err != nil {
+				return nil, err
+			}
+			return floatArith(Mod, af, bf)
+		}, nil
+	case "POWER":
+		return func(row []any) (any, error) {
+			vs, err := evalArgs(row)
+			if err != nil {
+				return nil, err
+			}
+			if vs[0] == nil || vs[1] == nil {
+				return nil, nil
+			}
+			a, err := toFloat(vs[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := toFloat(vs[1])
+			if err != nil {
+				return nil, err
+			}
+			return math.Pow(a, b), nil
+		}, nil
+	case "SQRT", "LN":
+		fn := math.Sqrt
+		if n.Fn == "LN" {
+			fn = math.Log
+		}
+		return func(row []any) (any, error) {
+			v, err := args[0](row)
+			if err != nil || v == nil {
+				return nil, err
+			}
+			f, err := toFloat(v)
+			if err != nil {
+				return nil, err
+			}
+			return fn(f), nil
+		}, nil
+	case "FLOOR", "CEIL":
+		ceil := n.Fn == "CEIL"
+		return unaryNumeric(args[0], func(i int64) any { return i },
+			func(f float64) any {
+				if ceil {
+					return math.Ceil(f)
+				}
+				return math.Floor(f)
+			}), nil
+	case "UPPER", "LOWER", "TRIM":
+		var fn func(string) string
+		switch n.Fn {
+		case "UPPER":
+			fn = strings.ToUpper
+		case "LOWER":
+			fn = strings.ToLower
+		default:
+			fn = strings.TrimSpace
+		}
+		return func(row []any) (any, error) {
+			v, err := args[0](row)
+			if err != nil || v == nil {
+				return nil, err
+			}
+			s, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("expr: %s over %T", n.Fn, v)
+			}
+			return fn(s), nil
+		}, nil
+	case "SUBSTRING":
+		return func(row []any) (any, error) {
+			vs, err := evalArgs(row)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range vs {
+				if v == nil {
+					return nil, nil
+				}
+			}
+			s, ok := vs[0].(string)
+			if !ok {
+				return nil, fmt.Errorf("expr: SUBSTRING over %T", vs[0])
+			}
+			start, ok := vs[1].(int64)
+			if !ok {
+				return nil, fmt.Errorf("expr: SUBSTRING start is %T", vs[1])
+			}
+			// SQL substring is 1-based.
+			i := int(start) - 1
+			if i < 0 {
+				i = 0
+			}
+			if i > len(s) {
+				return "", nil
+			}
+			out := s[i:]
+			if len(vs) == 3 {
+				ln, ok := vs[2].(int64)
+				if !ok {
+					return nil, fmt.Errorf("expr: SUBSTRING length is %T", vs[2])
+				}
+				if ln < 0 {
+					ln = 0
+				}
+				if int(ln) < len(out) {
+					out = out[:ln]
+				}
+			}
+			return out, nil
+		}, nil
+	case "CHAR_LENGTH":
+		return func(row []any) (any, error) {
+			v, err := args[0](row)
+			if err != nil || v == nil {
+				return nil, err
+			}
+			s, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("expr: CHAR_LENGTH over %T", v)
+			}
+			return int64(len(s)), nil
+		}, nil
+	default:
+		if def, ok := udf.LookupScalar(n.Fn); ok {
+			eval := def.Eval
+			return func(row []any) (any, error) {
+				vs, err := evalArgs(row)
+				if err != nil {
+					return nil, err
+				}
+				return eval(vs)
+			}, nil
+		}
+		return nil, fmt.Errorf("expr: unknown function %s", n.Fn)
+	}
+}
+
+func unaryNumeric(arg Evaluator, onInt func(int64) any, onFloat func(float64) any) Evaluator {
+	return func(row []any) (any, error) {
+		v, err := arg(row)
+		if err != nil || v == nil {
+			return nil, err
+		}
+		switch t := v.(type) {
+		case int64:
+			return onInt(t), nil
+		case float64:
+			return onFloat(t), nil
+		default:
+			return nil, fmt.Errorf("expr: numeric function over %T", v)
+		}
+	}
+}
+
+func absI(i int64) int64 {
+	if i < 0 {
+		return -i
+	}
+	return i
+}

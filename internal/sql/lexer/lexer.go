@@ -1,0 +1,287 @@
+// Package lexer scans SamzaSQL query text into tokens.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"samzasql/internal/sql/token"
+)
+
+// Lexer scans one query string.
+type Lexer struct {
+	src  string
+	pos  int // byte offset of next rune
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a scan error with position.
+type Error struct {
+	Pos token.Position
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("lex error at %s: %s", e.Pos, e.Msg) }
+
+// Tokens scans the whole input, returning tokens ending with EOF.
+func (l *Lexer) Tokens() ([]token.Token, error) {
+	var out []token.Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) position() token.Position {
+	return token.Position{Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.peek2() == '-':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.position()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &Error{Pos: start, Msg: "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// Next scans one token.
+func (l *Lexer) Next() (token.Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token.Token{}, err
+	}
+	pos := l.position()
+	if l.pos >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isDigit(c), c == '.' && isDigit(l.peek2()):
+		return l.scanNumber(pos)
+	case isIdentStart(c):
+		return l.scanIdent(pos)
+	case c == '\'':
+		return l.scanString(pos)
+	case c == '"':
+		return l.scanQuotedIdent(pos)
+	}
+	l.advance()
+	simple := func(k token.Kind) (token.Token, error) {
+		return token.Token{Kind: k, Text: k.String(), Pos: pos}, nil
+	}
+	switch c {
+	case '+':
+		return simple(token.PLUS)
+	case '-':
+		return simple(token.MINUS)
+	case '*':
+		return simple(token.STAR)
+	case '/':
+		return simple(token.SLASH)
+	case '%':
+		return simple(token.PERCENT)
+	case '(':
+		return simple(token.LPAREN)
+	case ')':
+		return simple(token.RPAREN)
+	case ',':
+		return simple(token.COMMA)
+	case '.':
+		return simple(token.DOT)
+	case ';':
+		return simple(token.SEMICOLON)
+	case '=':
+		return simple(token.EQ)
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return simple(token.LTE)
+		}
+		if l.peek() == '>' {
+			l.advance()
+			return simple(token.NEQ)
+		}
+		return simple(token.LT)
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return simple(token.GTE)
+		}
+		return simple(token.GT)
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return simple(token.NEQ)
+		}
+		return token.Token{}, &Error{Pos: pos, Msg: "unexpected '!'"}
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return simple(token.CONCAT)
+		}
+		return token.Token{}, &Error{Pos: pos, Msg: "unexpected '|'"}
+	}
+	return token.Token{}, &Error{Pos: pos, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+func (l *Lexer) scanNumber(pos token.Position) (token.Token, error) {
+	start := l.pos
+	sawDot := false
+	for l.pos < len(l.src) {
+		c := l.peek()
+		if isDigit(c) {
+			l.advance()
+			continue
+		}
+		if c == '.' && !sawDot && isDigit(l.peek2()) {
+			sawDot = true
+			l.advance()
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if isIdentStart(l.peek()) && l.peek() != 'e' && l.peek() != 'E' {
+		return token.Token{}, &Error{Pos: pos, Msg: fmt.Sprintf("malformed number %q", text+string(l.peek()))}
+	}
+	// Scientific notation.
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.pos
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if !isDigit(l.peek()) {
+			l.pos = save // bare identifier follows; not an exponent
+		} else {
+			for isDigit(l.peek()) {
+				l.advance()
+			}
+			text = l.src[start:l.pos]
+		}
+	}
+	return token.Token{Kind: token.NUMBER, Text: text, Pos: pos}, nil
+}
+
+func (l *Lexer) scanIdent(pos token.Position) (token.Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.peek()) {
+		l.advance()
+	}
+	text := l.src[start:l.pos]
+	kind := token.KeywordKind(strings.ToUpper(text))
+	if kind != token.IDENT {
+		return token.Token{Kind: kind, Text: strings.ToUpper(text), Pos: pos}, nil
+	}
+	return token.Token{Kind: token.IDENT, Text: text, Pos: pos}, nil
+}
+
+func (l *Lexer) scanString(pos token.Position) (token.Token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.advance()
+		if c == '\'' {
+			if l.peek() == '\'' { // doubled quote escape
+				sb.WriteByte('\'')
+				l.advance()
+				continue
+			}
+			return token.Token{Kind: token.STRING, Text: sb.String(), Pos: pos}, nil
+		}
+		sb.WriteByte(c)
+	}
+	return token.Token{}, &Error{Pos: pos, Msg: "unterminated string literal"}
+}
+
+func (l *Lexer) scanQuotedIdent(pos token.Position) (token.Token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.advance()
+		if c == '"' {
+			if l.peek() == '"' {
+				sb.WriteByte('"')
+				l.advance()
+				continue
+			}
+			if sb.Len() == 0 {
+				return token.Token{}, &Error{Pos: pos, Msg: "empty quoted identifier"}
+			}
+			return token.Token{Kind: token.QIDENT, Text: sb.String(), Pos: pos}, nil
+		}
+		sb.WriteByte(c)
+	}
+	return token.Token{}, &Error{Pos: pos, Msg: "unterminated quoted identifier"}
+}

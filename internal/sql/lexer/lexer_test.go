@@ -1,0 +1,186 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"samzasql/internal/sql/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := New(src).Tokens()
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	out := make([]token.Kind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func TestScanStreamingSelect(t *testing.T) {
+	src := "SELECT STREAM rowtime, productId, units FROM Orders WHERE units > 25;"
+	want := []token.Kind{
+		token.SELECT, token.STREAM, token.IDENT, token.COMMA, token.IDENT,
+		token.COMMA, token.IDENT, token.FROM, token.IDENT, token.WHERE,
+		token.IDENT, token.GT, token.NUMBER, token.SEMICOLON, token.EOF,
+	}
+	got := kinds(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := New("select Stream fRoM").Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.SELECT || toks[1].Kind != token.STREAM || toks[2].Kind != token.FROM {
+		t.Fatalf("tokens %v", toks)
+	}
+	// Keyword text is normalized upper.
+	if toks[1].Text != "STREAM" {
+		t.Fatalf("keyword text %q", toks[1].Text)
+	}
+}
+
+func TestIdentifiersPreserveCase(t *testing.T) {
+	toks, err := New("productId").Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.IDENT || toks[0].Text != "productId" {
+		t.Fatalf("token %v", toks[0])
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := "+ - * / % = <> != < <= > >= || ( ) , . ;"
+	want := []token.Kind{
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+		token.EQ, token.NEQ, token.NEQ, token.LT, token.LTE, token.GT,
+		token.GTE, token.CONCAT, token.LPAREN, token.RPAREN, token.COMMA,
+		token.DOT, token.SEMICOLON, token.EOF,
+	}
+	got := kinds(t, src)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := New("1 42 3.14 .5 2e10 1.5E-3").Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTexts := []string{"1", "42", "3.14", ".5", "2e10", "1.5E-3"}
+	for i, want := range wantTexts {
+		if toks[i].Kind != token.NUMBER || toks[i].Text != want {
+			t.Fatalf("token %d = %v, want NUMBER(%q)", i, toks[i], want)
+		}
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	toks, err := New("'hello' '1:30' 'it''s'").Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTexts := []string{"hello", "1:30", "it's"}
+	for i, want := range wantTexts {
+		if toks[i].Kind != token.STRING || toks[i].Text != want {
+			t.Fatalf("token %d = %v, want STRING(%q)", i, toks[i], want)
+		}
+	}
+}
+
+func TestQuotedIdentifiers(t *testing.T) {
+	toks, err := New(`"Order Totals" "a""b"`).Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.QIDENT || toks[0].Text != "Order Totals" {
+		t.Fatalf("token %v", toks[0])
+	}
+	if toks[1].Kind != token.QIDENT || toks[1].Text != `a"b` {
+		t.Fatalf("token %v", toks[1])
+	}
+}
+
+func TestIntervalLiteralTokens(t *testing.T) {
+	src := "INTERVAL '1:30' HOUR TO MINUTE"
+	want := []token.Kind{token.INTERVAL, token.STRING, token.HOUR, token.TO, token.MINUTE, token.EOF}
+	got := kinds(t, src)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `SELECT -- line comment
+	/* block
+	   comment */ STREAM`
+	got := kinds(t, src)
+	if got[0] != token.SELECT || got[1] != token.STREAM || got[2] != token.EOF {
+		t.Fatalf("tokens %v", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"'unterminated",
+		`"unterminated`,
+		`""`,
+		"/* never closed",
+		"@",
+		"12abc",
+	}
+	for _, src := range cases {
+		if _, err := New(src).Tokens(); err == nil {
+			t.Errorf("lex %q succeeded", src)
+		} else if !strings.Contains(err.Error(), "lex error") {
+			t.Errorf("lex %q: unexpected error text %v", src, err)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := New("SELECT\n  x").Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("SELECT at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("x at %v", toks[1].Pos)
+	}
+}
+
+func TestWindowFunctionTokens(t *testing.T) {
+	src := "SUM(units) OVER (PARTITION BY productId ORDER BY rowtime RANGE INTERVAL '5' MINUTE PRECEDING)"
+	got := kinds(t, src)
+	want := []token.Kind{
+		token.IDENT, token.LPAREN, token.IDENT, token.RPAREN, token.OVER,
+		token.LPAREN, token.PARTITION, token.BY, token.IDENT, token.ORDER,
+		token.BY, token.IDENT, token.RANGE, token.INTERVAL, token.STRING,
+		token.MINUTE, token.PRECEDING, token.RPAREN, token.EOF,
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"samzasql/internal/sql/catalog"
+	"samzasql/internal/sql/expr"
+	"samzasql/internal/sql/parser"
+	"samzasql/internal/sql/plan"
+	"samzasql/internal/sql/types"
+	"samzasql/internal/sql/validate"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	err := cat.Define(&catalog.Object{
+		Kind: catalog.Stream, Name: "Orders", Topic: "orders", TimestampCol: "rowtime",
+		Row: types.NewRowType(
+			types.Column{Name: "rowtime", Type: types.Timestamp},
+			types.Column{Name: "productId", Type: types.Bigint},
+			types.Column{Name: "units", Type: types.Bigint},
+		),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cat.Define(&catalog.Object{
+		Kind: catalog.Table, Name: "Products", Topic: "products",
+		Row: types.NewRowType(
+			types.Column{Name: "productId", Type: types.Bigint},
+			types.Column{Name: "supplierId", Type: types.Bigint},
+		),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func planFor(t *testing.T, query string) plan.Node {
+	t.Helper()
+	stmt, err := parser.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := validate.New(testCatalog(t)).Validate(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConstantFolding(t *testing.T) {
+	p := planFor(t, "SELECT STREAM units + (1 + 2) * 3 FROM Orders")
+	o := Optimize(p)
+	s := plan.Format(o)
+	if !strings.Contains(s, "+ 9") {
+		t.Fatalf("constant not folded:\n%s", s)
+	}
+}
+
+func TestDivisionByZeroNotFolded(t *testing.T) {
+	p := planFor(t, "SELECT STREAM units + 1 / 0 FROM Orders")
+	o := Optimize(p)
+	s := plan.Format(o)
+	if !strings.Contains(s, "/") {
+		t.Fatalf("division by zero folded away:\n%s", s)
+	}
+}
+
+func TestTrueFilterDropped(t *testing.T) {
+	p := planFor(t, "SELECT STREAM * FROM Orders WHERE 1 < 2")
+	o := Optimize(p)
+	if strings.Contains(plan.Format(o), "Filter") {
+		t.Fatalf("tautological filter survived:\n%s", plan.Format(o))
+	}
+}
+
+func TestFilterPushedIntoJoinSides(t *testing.T) {
+	p := planFor(t, `
+		SELECT STREAM Orders.rowtime
+		FROM Orders JOIN Products ON Orders.productId = Products.productId
+		WHERE Orders.units > 10 AND Products.supplierId = 3`)
+	o := Optimize(p)
+	s := plan.Format(o)
+	// Both conjuncts must sit below the join.
+	joinLine := -1
+	var filterLines []int
+	for i, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "Join") {
+			joinLine = i
+		}
+		if strings.Contains(line, "Filter") {
+			filterLines = append(filterLines, i)
+		}
+	}
+	if joinLine < 0 || len(filterLines) != 2 {
+		t.Fatalf("expected 2 filters and a join:\n%s", s)
+	}
+	for _, f := range filterLines {
+		if f < joinLine {
+			t.Fatalf("filter above join:\n%s", s)
+		}
+	}
+}
+
+func TestProjectsMerged(t *testing.T) {
+	p := planFor(t, `
+		SELECT STREAM x + 1 FROM (SELECT units AS x FROM Orders)`)
+	o := Optimize(p)
+	s := plan.Format(o)
+	if strings.Count(s, "Project") != 1 {
+		t.Fatalf("stacked projects not merged:\n%s", s)
+	}
+}
+
+func TestFilterPushedThroughProject(t *testing.T) {
+	p := planFor(t, `
+		SELECT STREAM x FROM (SELECT units AS x, rowtime FROM Orders) WHERE x > 5`)
+	o := Optimize(p)
+	s := plan.Format(o)
+	lines := strings.Split(s, "\n")
+	filterIdx, projectIdx := -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "Filter") && filterIdx < 0 {
+			filterIdx = i
+		}
+		if strings.Contains(l, "Project") && projectIdx < 0 {
+			projectIdx = i
+		}
+	}
+	if filterIdx < projectIdx {
+		t.Fatalf("filter not pushed below project:\n%s", s)
+	}
+	// The pushed condition must reference the base column.
+	if !strings.Contains(s, "$2:units") {
+		t.Fatalf("pushed filter lost column rebinding:\n%s", s)
+	}
+}
+
+func TestStackedFiltersMerged(t *testing.T) {
+	// Build Filter(Filter(Scan)) directly.
+	base := planFor(t, "SELECT STREAM * FROM Orders WHERE units > 1")
+	proj, ok := base.(*plan.Project)
+	if !ok {
+		t.Fatalf("root %T", base)
+	}
+	inner := proj.Input
+	outer := &plan.Filter{Input: inner, Cond: &expr.Binary{
+		Op: expr.Lt,
+		L:  &expr.ColRef{Idx: 2, Name: "units", T: types.Bigint},
+		R:  &expr.Const{V: int64(50), T: types.Bigint},
+		T:  types.Boolean,
+	}}
+	o := Optimize(outer)
+	if strings.Count(plan.Format(o), "Filter") != 1 {
+		t.Fatalf("filters not merged:\n%s", plan.Format(o))
+	}
+}
+
+func TestOptimizePreservesShapeOfAggregates(t *testing.T) {
+	p := planFor(t, `
+		SELECT STREAM productId, COUNT(*) FROM Orders
+		GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR), productId
+		HAVING COUNT(*) > 2`)
+	o := Optimize(p)
+	s := plan.Format(o)
+	for _, want := range []string{"Aggregate", "Filter", "Project", "Scan"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("optimized aggregate plan missing %s:\n%s", want, s)
+		}
+	}
+	// HAVING must stay above the aggregate.
+	lines := strings.Split(s, "\n")
+	aggIdx, filterIdx := -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "Aggregate") {
+			aggIdx = i
+		}
+		if strings.Contains(l, "Filter") {
+			filterIdx = i
+		}
+	}
+	if filterIdx > aggIdx {
+		t.Fatalf("HAVING pushed below aggregate:\n%s", s)
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	p := planFor(t, `
+		SELECT STREAM Orders.rowtime FROM Orders
+		JOIN Products ON Orders.productId = Products.productId
+		WHERE Orders.units > 10 AND 1 = 1`)
+	o1 := Optimize(p)
+	o2 := Optimize(o1)
+	if plan.Format(o1) != plan.Format(o2) {
+		t.Fatalf("optimizer not idempotent:\n%s\nvs\n%s", plan.Format(o1), plan.Format(o2))
+	}
+}

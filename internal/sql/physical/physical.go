@@ -1,0 +1,365 @@
+// Package physical lowers a logical plan to a SamzaSQL program: the scan /
+// operator / insert chain (Figure 4), the message router wiring, the input
+// stream set with bootstrap flags, and the store declarations the Samza job
+// needs. It is the second half of the paper's two-step planning (§4.2):
+// the same compilation runs in the shell (to derive the job configuration)
+// and inside each SamzaSQL task at initialization (to build operators).
+package physical
+
+import (
+	"fmt"
+
+	"samzasql/internal/avro"
+	"samzasql/internal/operators"
+	"samzasql/internal/samza"
+	"samzasql/internal/sql/catalog"
+	"samzasql/internal/sql/plan"
+	"samzasql/internal/sql/types"
+)
+
+// Input describes one source stream of the program.
+type Input struct {
+	Topic string
+	// Bootstrap marks relation changelogs consumed before stream input.
+	Bootstrap bool
+	// Scan decodes messages from this topic.
+	Scan *operators.ScanOp
+}
+
+// Program is a compiled query ready to run inside a task (or the bounded
+// local executor).
+type Program struct {
+	Inputs      []*Input
+	Router      *operators.Router
+	OutputTopic string
+	OutputCodec *avro.Codec
+	OutputRow   *types.RowType
+	// Stores lists the task-local stores the operators need.
+	Stores []samza.StoreSpec
+	// Repartitions lists the re-keying stages the engine must run as
+	// upstream jobs before the main job (§7 future work 1).
+	Repartitions []*RepartitionSpec
+	// Streaming reports whether any scan is unbounded.
+	Streaming bool
+	// insert is the sink operator; its sender is bound via SetSender.
+	insert *operators.InsertOp
+	// aggregate is non-nil when the plan aggregates; the bounded executor
+	// uses FlushAggregate at end of input. aggDownstream is the compiled
+	// chain above the aggregate (having filter, projection, insert).
+	aggregate     *operators.StreamAggregateOp
+	aggDownstream operators.Emit
+	// fast is non-nil when the plan compiled to the fused fast path (§7's
+	// proposed SamzaSQL-specific code generation; see fastpath.go).
+	fast *fastProgram
+}
+
+// FastPath reports whether the program uses the fused fast path.
+func (p *Program) FastPath() bool { return p.fast != nil }
+
+// FlushAggregate closes all open windows through the post-aggregate chain.
+// No-op for plans without aggregation.
+func (p *Program) FlushAggregate() error {
+	if p.aggregate == nil {
+		return nil
+	}
+	return p.aggregate.FlushFinal(p.aggDownstream)
+}
+
+// SetSender binds the output sink to a message collector.
+func (p *Program) SetSender(s operators.Sender) {
+	if p.fast != nil {
+		p.fast.send = s
+		return
+	}
+	p.insert.Send = s
+}
+
+// Aggregate exposes the aggregate operator (nil when the plan has none).
+func (p *Program) Aggregate() *operators.StreamAggregateOp { return p.aggregate }
+
+// Options controls compilation.
+type Options struct {
+	// FastPath enables the fused scan/filter/project/insert path for
+	// eligible plans (§7 future work item 5); see fastpath.go.
+	FastPath bool
+}
+
+// Compile lowers the plan. defaultOutput names the output topic for plain
+// SELECTs (INSERT INTO plans carry their own target).
+func Compile(root plan.Node, defaultOutput string) (*Program, error) {
+	return CompileWithOptions(root, defaultOutput, Options{})
+}
+
+// CompileWithOptions lowers the plan with explicit options.
+func CompileWithOptions(root plan.Node, defaultOutput string, opts Options) (*Program, error) {
+	prog := &Program{Router: operators.NewRouter()}
+
+	target := defaultOutput
+	body := root
+	if ins, ok := root.(*plan.Insert); ok {
+		target = ins.Target
+		body = ins.Input
+	}
+	if target == "" {
+		return nil, fmt.Errorf("physical: no output topic for query")
+	}
+	if opts.FastPath {
+		if ok, err := prog.tryFastPath(body, target); err != nil {
+			return nil, err
+		} else if ok {
+			return prog, nil
+		}
+	}
+	outRow := body.Row()
+	outCodec, err := codecFor("Output", outRow, true)
+	if err != nil {
+		return nil, err
+	}
+	prog.OutputTopic = target
+	prog.OutputRow = outRow
+	prog.OutputCodec = outCodec
+	prog.insert = &operators.InsertOp{Codec: outCodec, Target: target}
+	prog.Router.Register(prog.insert)
+
+	sink := func(t *operators.Tuple) error {
+		return prog.insert.Process(0, t, nil)
+	}
+	if err := prog.build(body, sink); err != nil {
+		return nil, err
+	}
+	// Aggregate outputs partition by group key (tuples carry it); other
+	// plans preserve the source partition.
+	if prog.aggregate != nil {
+		prog.insert.KeyByTupleKey = true
+	}
+	return prog, nil
+}
+
+// build wires the plan node's operator and recurses to its inputs.
+// downstream receives the node's output tuples.
+func (p *Program) build(n plan.Node, downstream operators.Emit) error {
+	switch t := n.(type) {
+	case *plan.Scan:
+		return p.buildScan(t, downstream)
+	case *plan.Filter:
+		op, err := operators.NewFilterOp(t.Cond)
+		if err != nil {
+			return err
+		}
+		p.Router.Register(op)
+		return p.build(t.Input, func(tp *operators.Tuple) error {
+			return op.Process(0, tp, downstream)
+		})
+	case *plan.Project:
+		tsIdx := -1
+		for i, c := range t.Row().Columns {
+			if c.Type == types.Timestamp {
+				tsIdx = i
+				break
+			}
+		}
+		op, err := operators.NewProjectOp(t.Exprs, tsIdx)
+		if err != nil {
+			return err
+		}
+		p.Router.Register(op)
+		return p.build(t.Input, func(tp *operators.Tuple) error {
+			return op.Process(0, tp, downstream)
+		})
+	case *plan.Aggregate:
+		op, err := operators.NewStreamAggregateOp(t.Keys, t.Window, t.Aggs)
+		if err != nil {
+			return err
+		}
+		p.aggregate = op
+		p.aggDownstream = downstream
+		p.Router.Register(op)
+		p.addStore(operators.AggStoreName)
+		return p.build(t.Input, func(tp *operators.Tuple) error {
+			return op.Process(0, tp, downstream)
+		})
+	case *plan.Analytic:
+		op, err := operators.NewSlidingWindowOp(t.Calls)
+		if err != nil {
+			return err
+		}
+		p.Router.Register(op)
+		p.addStore(operators.SlidingStoreName)
+		return p.build(t.Input, func(tp *operators.Tuple) error {
+			return op.Process(0, tp, downstream)
+		})
+	case *plan.Join:
+		return p.buildJoin(t, downstream)
+	case *plan.Insert:
+		return fmt.Errorf("physical: nested INSERT is not supported")
+	default:
+		return fmt.Errorf("physical: unsupported plan node %T", n)
+	}
+}
+
+func (p *Program) buildScan(s *plan.Scan, downstream operators.Emit) error {
+	codec, err := catalog.AvroSchemaFor(s.Object)
+	if err != nil {
+		return err
+	}
+	c, err := avro.NewCodec(codec)
+	if err != nil {
+		return err
+	}
+	tsIdx := -1
+	if s.Object.TimestampCol != "" {
+		tsIdx = s.Object.Row.Index(s.Object.TimestampCol)
+	}
+	// A scan marked for repartitioning reads the re-keyed intermediate
+	// topic instead of the source; the engine runs the re-keying stage.
+	topic := s.Object.Topic
+	if s.RepartitionCol != "" {
+		var err error
+		topic, err = p.planRepartition(s.Object, s.RepartitionCol)
+		if err != nil {
+			return err
+		}
+	}
+	scan := &operators.ScanOp{Codec: c, TsIdx: tsIdx, Stream: topic}
+	p.Router.Register(scan)
+	for _, in := range p.Inputs {
+		if in.Topic == topic {
+			return fmt.Errorf("physical: topic %q appears twice in one query (self-joins need an intermediate stream)", in.Topic)
+		}
+	}
+	p.Inputs = append(p.Inputs, &Input{
+		Topic:     topic,
+		Bootstrap: s.Bootstrap,
+		Scan:      scan,
+	})
+	if s.Streaming {
+		p.Streaming = true
+	}
+	p.Router.AddEntry(topic, func(t *operators.Tuple) error {
+		return downstream(t)
+	})
+	return nil
+}
+
+func (p *Program) buildJoin(j *plan.Join, downstream operators.Emit) error {
+	leftArity := j.Left.Row().Arity()
+	rightArity := j.Right.Row().Arity()
+
+	// Classify: a bootstrap scan below either side marks a
+	// stream-to-relation join.
+	leftBoot := hasBootstrapScan(j.Left)
+	rightBoot := hasBootstrapScan(j.Right)
+
+	p.addStore(operators.JoinStoreName)
+	switch {
+	case leftBoot || rightBoot:
+		streamIsLeft := rightBoot
+		op, err := operators.NewStreamRelationJoinOp(j.Info, leftArity, rightArity, streamIsLeft)
+		if err != nil {
+			return err
+		}
+		p.Router.Register(op)
+		// Stream side feeds LeftSide, relation changelog feeds RightSide.
+		streamEmit := func(t *operators.Tuple) error {
+			return op.Process(operators.LeftSide, t, downstream)
+		}
+		relEmit := func(t *operators.Tuple) error {
+			return op.Process(operators.RightSide, t, downstream)
+		}
+		if streamIsLeft {
+			if err := p.build(j.Left, streamEmit); err != nil {
+				return err
+			}
+			return p.build(j.Right, relEmit)
+		}
+		if err := p.build(j.Left, relEmit); err != nil {
+			return err
+		}
+		return p.build(j.Right, streamEmit)
+	default:
+		op, err := operators.NewStreamStreamJoinOp(j.Info, leftArity, rightArity)
+		if err != nil {
+			return err
+		}
+		p.Router.Register(op)
+		if err := p.build(j.Left, func(t *operators.Tuple) error {
+			return op.Process(operators.LeftSide, t, downstream)
+		}); err != nil {
+			return err
+		}
+		return p.build(j.Right, func(t *operators.Tuple) error {
+			return op.Process(operators.RightSide, t, downstream)
+		})
+	}
+}
+
+func hasBootstrapScan(n plan.Node) bool {
+	if s, ok := n.(*plan.Scan); ok {
+		return s.Bootstrap
+	}
+	for _, c := range n.Inputs() {
+		if hasBootstrapScan(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Program) addStore(name string) {
+	for _, s := range p.Stores {
+		if s.Name == name {
+			return
+		}
+	}
+	p.Stores = append(p.Stores, samza.StoreSpec{Name: name, Changelog: true})
+}
+
+// codecFor builds an Avro codec for a row type. nullable makes every field
+// optional (aggregate outputs can be NULL).
+func codecFor(name string, row *types.RowType, nullable bool) (*avro.Codec, error) {
+	fields := make([]avro.Field, 0, row.Arity())
+	for _, col := range row.Columns {
+		var fs *avro.Schema
+		switch col.Type {
+		case types.Bigint, types.Timestamp, types.Interval:
+			fs = avro.Long()
+		case types.Double:
+			fs = avro.Double()
+		case types.Varchar:
+			fs = avro.String()
+		case types.Boolean:
+			fs = avro.Boolean()
+		case types.Null, types.AnyType:
+			fs = avro.String().AsNullable()
+		default:
+			return nil, fmt.Errorf("physical: unmappable output type %s for column %q", col.Type, col.Name)
+		}
+		if nullable && !fs.Nullable {
+			fs = fs.AsNullable()
+		}
+		fields = append(fields, avro.F(col.Name, fs))
+	}
+	return avro.NewCodec(avro.Record(name, fields...))
+}
+
+// RouteMessage decodes one raw message from topic and drives it through the
+// router — the per-message path of a SamzaSQL task.
+func (p *Program) RouteMessage(topic string, value, key []byte, msgTs int64, partition int32, offset int64) error {
+	if p.fast != nil {
+		if topic != p.fast.topic {
+			return nil
+		}
+		return p.fast.handle(value, key, msgTs, partition)
+	}
+	for _, in := range p.Inputs {
+		if in.Topic != topic {
+			continue
+		}
+		t, err := in.Scan.Decode(value, key, msgTs, partition, offset)
+		if err != nil {
+			return err
+		}
+		return p.Router.Route(topic, t)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package physical
+
+import (
+	"fmt"
+
+	"samzasql/internal/avro"
+	"samzasql/internal/sql/catalog"
+)
+
+// RepartitionSpec describes one re-keying stage the engine must run as a
+// separate Samza job before the main query job (§7 future work 1, and §2's
+// observation that Samza DAGs form by "connecting multiple Samza jobs via
+// intermediate Kafka streams"). The stage reads SourceTopic, extracts
+// KeyCol from each message's wire bytes, and forwards the message unchanged
+// to TargetTopic keyed by that column, so the broker's key partitioner
+// co-locates join keys.
+//
+// Repartitioning interleaves each source partition's messages into the new
+// partitions: ordering is preserved per source partition but not globally,
+// the ordering caveat the paper flags for order-sensitive downstream
+// operators.
+type RepartitionSpec struct {
+	SourceTopic string
+	TargetTopic string
+	// KeyCol is the column to re-key by.
+	KeyCol string
+	// Codec decodes the key column from message bytes.
+	Codec *avro.Codec
+}
+
+// repartitionTopicName derives the deterministic intermediate topic name.
+// Determinism lets concurrent queries joining on the same key share one
+// repartitioned stream, the sharing benefit §2 attributes to Samza's
+// job-chaining architecture.
+func repartitionTopicName(topic, keyCol string) string {
+	return fmt.Sprintf("%s-repartition-by-%s", topic, keyCol)
+}
+
+// planRepartition rewires a repartitioned scan to its intermediate topic
+// and records the stage for the engine.
+func (p *Program) planRepartition(obj *catalog.Object, keyCol string) (string, error) {
+	schema, err := catalog.AvroSchemaFor(obj)
+	if err != nil {
+		return "", err
+	}
+	codec, err := avro.NewCodec(schema)
+	if err != nil {
+		return "", err
+	}
+	if obj.Row.Index(keyCol) < 0 {
+		return "", fmt.Errorf("physical: repartition key %q not in %q", keyCol, obj.Name)
+	}
+	target := repartitionTopicName(obj.Topic, keyCol)
+	for _, r := range p.Repartitions {
+		if r.TargetTopic == target {
+			return target, nil // already planned (shared)
+		}
+	}
+	p.Repartitions = append(p.Repartitions, &RepartitionSpec{
+		SourceTopic: obj.Topic,
+		TargetTopic: target,
+		KeyCol:      keyCol,
+		Codec:       codec,
+	})
+	return target, nil
+}

@@ -1,0 +1,93 @@
+package plan
+
+import (
+	"fmt"
+
+	"samzasql/internal/sql/catalog"
+	"samzasql/internal/sql/validate"
+)
+
+// Build lowers a validated query to a logical plan. When the statement was
+// INSERT INTO, the plan is wrapped in an Insert sink.
+func Build(res *validate.Result) (Node, error) {
+	root, err := buildSelect(res.Root, res.Root.Streaming)
+	if err != nil {
+		return nil, err
+	}
+	if res.InsertTarget != "" {
+		root = &Insert{Input: root, Target: res.InsertTarget}
+	}
+	return root, nil
+}
+
+// buildSelect lowers one query block. streaming propagates the top-level
+// STREAM mode into sub-queries and views, whose own STREAM keywords were
+// discarded by the validator (§3.3): under a streaming top query, stream
+// scans at the leaves run unbounded.
+func buildSelect(b *validate.BoundSelect, streaming bool) (Node, error) {
+	var input Node
+	var err error
+	switch {
+	case b.Join != nil:
+		left, err := buildRelation(b.Scope.Rels[0], b, streaming)
+		if err != nil {
+			return nil, err
+		}
+		right, err := buildRelation(b.Scope.Rels[1], b, streaming)
+		if err != nil {
+			return nil, err
+		}
+		input = NewJoin(left, right, b.Join)
+	case len(b.Scope.Rels) == 1:
+		input, err = buildRelation(b.Scope.Rels[0], b, streaming)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("plan: unsupported FROM shape with %d relations", len(b.Scope.Rels))
+	}
+
+	if b.Where != nil {
+		input = &Filter{Input: input, Cond: b.Where}
+	}
+	switch {
+	case b.Grouped():
+		input = NewAggregate(input, b.GroupKeys, b.Window, b.Aggs)
+		if b.Having != nil {
+			input = &Filter{Input: input, Cond: b.Having}
+		}
+	case len(b.Analytics) > 0:
+		input = NewAnalytic(input, b.Analytics)
+	}
+	return NewProject(input, b.Projs, b.OutputNames), nil
+}
+
+// buildRelation lowers one FROM relation: a base scan or a subplan.
+func buildRelation(r *validate.Relation, parent *validate.BoundSelect, streaming bool) (Node, error) {
+	if r.Sub != nil {
+		return buildSelect(r.Sub, streaming && r.IsStream)
+	}
+	if r.Object == nil {
+		return nil, fmt.Errorf("plan: relation %q has neither object nor subquery", r.Alias)
+	}
+	scan := &Scan{Object: r.Object, Streaming: streaming && r.IsStream}
+	// The relation side of a stream-to-relation join becomes a bootstrap
+	// scan of the table's changelog (§4.4).
+	if parent.Join != nil && r.Object.Kind == catalog.Table {
+		for _, other := range parent.Scope.Rels {
+			if other != r && other.IsStream {
+				scan.Bootstrap = true
+			}
+		}
+	}
+	// Join sides whose equi-key differs from the publisher's partition key
+	// read from a repartitioned intermediate stream (§7 future work 1).
+	if parent.Join != nil && len(parent.Scope.Rels) == 2 {
+		if r == parent.Scope.Rels[0] {
+			scan.RepartitionCol = parent.Join.LeftRepartitionCol
+		} else {
+			scan.RepartitionCol = parent.Join.RightRepartitionCol
+		}
+	}
+	return scan, nil
+}

@@ -1,0 +1,185 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"samzasql/internal/sql/catalog"
+	"samzasql/internal/sql/parser"
+	"samzasql/internal/sql/types"
+	"samzasql/internal/sql/validate"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	objects := []*catalog.Object{
+		{
+			Kind: catalog.Stream, Name: "Orders", Topic: "orders", TimestampCol: "rowtime",
+			Row: types.NewRowType(
+				types.Column{Name: "rowtime", Type: types.Timestamp},
+				types.Column{Name: "productId", Type: types.Bigint},
+				types.Column{Name: "units", Type: types.Bigint},
+			),
+		},
+		{
+			Kind: catalog.Table, Name: "Products", Topic: "products",
+			Row: types.NewRowType(
+				types.Column{Name: "productId", Type: types.Bigint},
+				types.Column{Name: "supplierId", Type: types.Bigint},
+			),
+		},
+	}
+	for _, o := range objects {
+		if err := cat.Define(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func buildPlan(t *testing.T, query string) Node {
+	t.Helper()
+	stmt, err := parser.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := validate.New(testCatalog(t)).Validate(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFilterProjectShape(t *testing.T) {
+	p := buildPlan(t, "SELECT STREAM rowtime, units FROM Orders WHERE units > 25")
+	proj, ok := p.(*Project)
+	if !ok {
+		t.Fatalf("root %T", p)
+	}
+	f, ok := proj.Input.(*Filter)
+	if !ok {
+		t.Fatalf("below project: %T", proj.Input)
+	}
+	scan, ok := f.Input.(*Scan)
+	if !ok || !scan.Streaming || scan.Object.Name != "Orders" {
+		t.Fatalf("leaf %v", f.Input)
+	}
+	if proj.Row().Arity() != 2 {
+		t.Fatalf("output row %v", proj.Row())
+	}
+}
+
+func TestNonStreamingScan(t *testing.T) {
+	p := buildPlan(t, "SELECT rowtime FROM Orders")
+	scan := leafScan(t, p)
+	if scan.Streaming {
+		t.Fatal("table-mode query produced a streaming scan")
+	}
+}
+
+func TestStreamingPropagatesIntoSubquery(t *testing.T) {
+	p := buildPlan(t, "SELECT STREAM x FROM (SELECT units AS x FROM Orders)")
+	scan := leafScan(t, p)
+	if !scan.Streaming {
+		t.Fatal("STREAM mode lost inside subquery")
+	}
+}
+
+func leafScan(t *testing.T, n Node) *Scan {
+	t.Helper()
+	for {
+		if s, ok := n.(*Scan); ok {
+			return s
+		}
+		ins := n.Inputs()
+		if len(ins) == 0 {
+			t.Fatalf("no scan leaf under %T", n)
+		}
+		n = ins[0]
+	}
+}
+
+func TestAggregatePlanShape(t *testing.T) {
+	p := buildPlan(t, `
+		SELECT STREAM productId, COUNT(*) FROM Orders
+		GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR), productId
+		HAVING COUNT(*) > 1`)
+	proj := p.(*Project)
+	filter := proj.Input.(*Filter)
+	agg := filter.Input.(*Aggregate)
+	if agg.Window == nil || agg.Window.Kind != validate.WindowTumble {
+		t.Fatalf("window %+v", agg.Window)
+	}
+	if len(agg.Keys) != 1 || len(agg.Aggs) != 1 {
+		t.Fatalf("keys/aggs %d/%d", len(agg.Keys), len(agg.Aggs))
+	}
+	// Aggregate row = [key, agg].
+	if agg.Row().Arity() != 2 {
+		t.Fatalf("agg row %v", agg.Row())
+	}
+}
+
+func TestJoinPlanMarksBootstrap(t *testing.T) {
+	p := buildPlan(t, `
+		SELECT STREAM Orders.rowtime FROM Orders
+		JOIN Products ON Orders.productId = Products.productId`)
+	s := Format(p)
+	if !strings.Contains(s, "Scan(Products, bootstrap)") {
+		t.Fatalf("relation scan not marked bootstrap:\n%s", s)
+	}
+	if !strings.Contains(s, "Scan(Orders, stream)") {
+		t.Fatalf("stream scan wrong:\n%s", s)
+	}
+}
+
+func TestAnalyticPlanShape(t *testing.T) {
+	p := buildPlan(t, `
+		SELECT STREAM rowtime, SUM(units) OVER (PARTITION BY productId
+		  ORDER BY rowtime RANGE INTERVAL '5' MINUTE PRECEDING) s
+		FROM Orders`)
+	proj := p.(*Project)
+	an := proj.Input.(*Analytic)
+	if len(an.Calls) != 1 || an.Calls[0].FrameMillis != 300000 {
+		t.Fatalf("analytic %+v", an.Calls)
+	}
+	// Extended row = input(3) + 1 call.
+	if an.Row().Arity() != 4 {
+		t.Fatalf("extended row %v", an.Row())
+	}
+}
+
+func TestInsertWrapsPlan(t *testing.T) {
+	stmt, err := parser.Parse("INSERT INTO Orders SELECT STREAM * FROM Orders WHERE units > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := validate.New(testCatalog(t)).Validate(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, ok := p.(*Insert)
+	if !ok || ins.Target != "Orders" {
+		t.Fatalf("root %T", p)
+	}
+}
+
+func TestFormatIndentsTree(t *testing.T) {
+	p := buildPlan(t, "SELECT STREAM rowtime FROM Orders WHERE units > 1")
+	s := Format(p)
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("plan lines: %v", lines)
+	}
+	if !strings.HasPrefix(lines[1], "  ") || !strings.HasPrefix(lines[2], "    ") {
+		t.Fatalf("indentation broken:\n%s", s)
+	}
+}

@@ -1,0 +1,186 @@
+// Package types defines SamzaSQL's SQL type system (§3.1): primitive column
+// types (integers, floating point, strings, booleans, timestamps), interval
+// types for window arithmetic, and nestable collections.
+package types
+
+import "fmt"
+
+// Type identifies a SQL value type. Values at runtime are represented as:
+// Boolean=bool, Bigint=int64, Double=float64, Varchar=string,
+// Timestamp=int64 (Unix millis), Interval=int64 (millis), Array=[]any,
+// Map=map[string]any, Null=nil.
+type Type int
+
+// Supported types.
+const (
+	Unknown Type = iota
+	Null
+	Boolean
+	Bigint
+	Double
+	Varchar
+	Timestamp
+	Interval
+	Array
+	Map
+	AnyType
+)
+
+func (t Type) String() string {
+	switch t {
+	case Null:
+		return "NULL"
+	case Boolean:
+		return "BOOLEAN"
+	case Bigint:
+		return "BIGINT"
+	case Double:
+		return "DOUBLE"
+	case Varchar:
+		return "VARCHAR"
+	case Timestamp:
+		return "TIMESTAMP"
+	case Interval:
+		return "INTERVAL"
+	case Array:
+		return "ARRAY"
+	case Map:
+		return "MAP"
+	case AnyType:
+		return "ANY"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Numeric reports whether t supports arithmetic.
+func (t Type) Numeric() bool {
+	return t == Bigint || t == Double || t == Timestamp || t == Interval
+}
+
+// Comparable reports whether values of t can be ordered.
+func (t Type) Comparable() bool {
+	return t.Numeric() || t == Varchar || t == Boolean
+}
+
+// ByName resolves a type name from SQL text (used by CAST and catalogs).
+func ByName(name string) (Type, error) {
+	switch name {
+	case "BOOLEAN":
+		return Boolean, nil
+	case "BIGINT", "INT", "INTEGER", "SMALLINT", "TINYINT":
+		return Bigint, nil
+	case "DOUBLE", "FLOAT", "REAL", "DECIMAL":
+		return Double, nil
+	case "VARCHAR", "CHAR", "STRING", "TEXT":
+		return Varchar, nil
+	case "TIMESTAMP":
+		return Timestamp, nil
+	case "ANY":
+		return AnyType, nil
+	default:
+		return Unknown, fmt.Errorf("types: unknown type name %q", name)
+	}
+}
+
+// Common computes the result type when two operand types meet in an
+// expression (numeric widening; timestamps and intervals interact with
+// bigints as millisecond counts).
+func Common(a, b Type) (Type, error) {
+	if a == b {
+		return a, nil
+	}
+	if a == Null {
+		return b, nil
+	}
+	if b == Null {
+		return a, nil
+	}
+	if a == AnyType || b == AnyType {
+		return AnyType, nil
+	}
+	if a.Numeric() && b.Numeric() {
+		if a == Double || b == Double {
+			return Double, nil
+		}
+		// Timestamp/interval/bigint mix: keep the more specific type.
+		switch {
+		case a == Timestamp || b == Timestamp:
+			return Timestamp, nil
+		case a == Interval || b == Interval:
+			return Interval, nil
+		default:
+			return Bigint, nil
+		}
+	}
+	return Unknown, fmt.Errorf("types: no common type for %s and %s", a, b)
+}
+
+// Column is a named, typed field of a relation or stream schema.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// RowType is an ordered column list — the schema of a relation, stream, or
+// intermediate operator output.
+type RowType struct {
+	Columns []Column
+}
+
+// NewRowType builds a row type from columns.
+func NewRowType(cols ...Column) *RowType { return &RowType{Columns: cols} }
+
+// Index returns the position of the named column, or -1. Matching is
+// case-sensitive first, then case-insensitive unique fallback (SQL
+// identifiers are case-insensitive unless quoted).
+func (r *RowType) Index(name string) int {
+	for i, c := range r.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	match := -1
+	for i, c := range r.Columns {
+		if equalFold(c.Name, name) {
+			if match >= 0 {
+				return -1 // ambiguous
+			}
+			match = i
+		}
+	}
+	return match
+}
+
+// Arity returns the number of columns.
+func (r *RowType) Arity() int { return len(r.Columns) }
+
+func (r *RowType) String() string {
+	s := "("
+	for i, c := range r.Columns {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s %s", c.Name, c.Type)
+	}
+	return s + ")"
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

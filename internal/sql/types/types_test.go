@@ -1,0 +1,114 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	cases := map[string]Type{
+		"BIGINT": Bigint, "INT": Bigint, "INTEGER": Bigint,
+		"DOUBLE": Double, "FLOAT": Double,
+		"VARCHAR": Varchar, "STRING": Varchar,
+		"BOOLEAN": Boolean, "TIMESTAMP": Timestamp, "ANY": AnyType,
+	}
+	for name, want := range cases {
+		got, err := ByName(name)
+		if err != nil || got != want {
+			t.Errorf("ByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ByName("FROB"); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestCommon(t *testing.T) {
+	cases := []struct {
+		a, b, want Type
+	}{
+		{Bigint, Bigint, Bigint},
+		{Bigint, Double, Double},
+		{Double, Bigint, Double},
+		{Null, Varchar, Varchar},
+		{Varchar, Null, Varchar},
+		{Timestamp, Interval, Timestamp},
+		{Bigint, Interval, Interval},
+		{Bigint, Timestamp, Timestamp},
+		{AnyType, Varchar, AnyType},
+	}
+	for _, tc := range cases {
+		got, err := Common(tc.a, tc.b)
+		if err != nil || got != tc.want {
+			t.Errorf("Common(%v, %v) = %v, %v; want %v", tc.a, tc.b, got, err, tc.want)
+		}
+	}
+	if _, err := Common(Varchar, Bigint); err == nil {
+		t.Error("VARCHAR/BIGINT common type accepted")
+	}
+	if _, err := Common(Boolean, Bigint); err == nil {
+		t.Error("BOOLEAN/BIGINT common type accepted")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !Bigint.Numeric() || !Timestamp.Numeric() || !Interval.Numeric() || !Double.Numeric() {
+		t.Error("numeric predicate broken")
+	}
+	if Varchar.Numeric() || Boolean.Numeric() {
+		t.Error("non-numeric type reported numeric")
+	}
+	if !Varchar.Comparable() || !Boolean.Comparable() || !Bigint.Comparable() {
+		t.Error("comparable predicate broken")
+	}
+	if Array.Comparable() || Map.Comparable() {
+		t.Error("collection types reported comparable")
+	}
+}
+
+func TestRowTypeIndex(t *testing.T) {
+	r := NewRowType(
+		Column{Name: "rowtime", Type: Timestamp},
+		Column{Name: "productId", Type: Bigint},
+	)
+	if r.Arity() != 2 {
+		t.Fatalf("arity %d", r.Arity())
+	}
+	if r.Index("rowtime") != 0 || r.Index("productId") != 1 {
+		t.Fatal("exact lookup broken")
+	}
+	// Case-insensitive fallback.
+	if r.Index("PRODUCTID") != 1 {
+		t.Fatal("case-insensitive lookup broken")
+	}
+	if r.Index("nope") != -1 {
+		t.Fatal("missing column resolved")
+	}
+	// Ambiguity under case folding.
+	amb := NewRowType(Column{Name: "a"}, Column{Name: "A"})
+	if amb.Index("a") != 0 {
+		t.Fatal("exact match must win over fold")
+	}
+	if got := amb.Index("a"); got != 0 {
+		t.Fatalf("Index(a) = %d", got)
+	}
+}
+
+func TestRowTypeString(t *testing.T) {
+	r := NewRowType(Column{Name: "a", Type: Bigint}, Column{Name: "b", Type: Varchar})
+	s := r.String()
+	if !strings.Contains(s, "a BIGINT") || !strings.Contains(s, "b VARCHAR") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for _, tc := range []struct {
+		tp   Type
+		want string
+	}{{Bigint, "BIGINT"}, {Null, "NULL"}, {Unknown, "UNKNOWN"}, {Array, "ARRAY"}, {Map, "MAP"}} {
+		if tc.tp.String() != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.tp, tc.tp.String(), tc.want)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package validate
+
+import (
+	"fmt"
+
+	"samzasql/internal/sql/ast"
+	"samzasql/internal/sql/expr"
+	"samzasql/internal/sql/types"
+	"samzasql/internal/sql/udf"
+)
+
+// aggFuncs are the aggregate functions of §3.6 (START/END capture window
+// bounds) plus the SQL standards.
+var aggFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+	"START": true, "END": true,
+}
+
+// IsAggregate reports whether name (upper-cased) is an aggregate function —
+// a builtin or a registered user-defined aggregate (§7 future work 4).
+func IsAggregate(name string) bool {
+	if aggFuncs[name] {
+		return true
+	}
+	_, ok := udf.LookupAggregate(name)
+	return ok
+}
+
+// binder lowers AST expressions to bound expressions over a scope's
+// combined row. Aggregate and analytic calls are rejected here; the
+// grouped/analytic rewriters in select.go intercept them first.
+type binder struct {
+	scope *Scope
+}
+
+func (b *binder) bind(e ast.Expr) (expr.Expr, error) {
+	switch n := e.(type) {
+	case *ast.Ident:
+		rel, idx, err := b.scope.resolveColumn(n.Qualifier(), n.Column())
+		if err != nil {
+			return nil, err
+		}
+		col := rel.Row.Columns[idx]
+		return &expr.ColRef{Idx: rel.Offset + idx, Name: col.Name, T: col.Type}, nil
+	case *ast.NumberLit:
+		if n.IsInt {
+			return &expr.Const{V: n.Int, T: types.Bigint}, nil
+		}
+		return &expr.Const{V: n.Float, T: types.Double}, nil
+	case *ast.StringLit:
+		return &expr.Const{V: n.V, T: types.Varchar}, nil
+	case *ast.BoolLit:
+		return &expr.Const{V: n.V, T: types.Boolean}, nil
+	case *ast.NullLit:
+		return &expr.Const{V: nil, T: types.Null}, nil
+	case *ast.IntervalLit:
+		return &expr.Const{V: n.Millis, T: types.Interval}, nil
+	case *ast.TimeLit:
+		return &expr.Const{V: n.Millis, T: types.Interval}, nil
+	case *ast.Unary:
+		x, err := b.bind(n.X)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == ast.OpNot {
+			if err := requireBoolean(x, "NOT"); err != nil {
+				return nil, err
+			}
+			return &expr.Not{X: x}, nil
+		}
+		if !x.Type().Numeric() && x.Type() != types.Null {
+			return nil, fmt.Errorf("validate: cannot negate %s", x.Type())
+		}
+		return &expr.Neg{X: x}, nil
+	case *ast.Binary:
+		return b.bindBinary(n)
+	case *ast.Between:
+		return b.bindBetween(n)
+	case *ast.InList:
+		return b.bindInList(n)
+	case *ast.IsNull:
+		x, err := b.bind(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{Not: n.Not, X: x}, nil
+	case *ast.Like:
+		x, err := b.bind(n.X)
+		if err != nil {
+			return nil, err
+		}
+		p, err := b.bind(n.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		if x.Type() != types.Varchar && x.Type() != types.Null {
+			return nil, fmt.Errorf("validate: LIKE requires VARCHAR, got %s", x.Type())
+		}
+		return &expr.Like{Not: n.Not, X: x, Pattern: p}, nil
+	case *ast.Case:
+		return b.bindCase(n)
+	case *ast.Cast:
+		x, err := b.bind(n.X)
+		if err != nil {
+			return nil, err
+		}
+		t, err := types.ByName(n.TypeName)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Cast{X: x, T: t}, nil
+	case *ast.FloorTo:
+		x, err := b.bind(n.X)
+		if err != nil {
+			return nil, err
+		}
+		if x.Type() != types.Timestamp && x.Type() != types.Bigint {
+			return nil, fmt.Errorf("validate: FLOOR TO %s requires a timestamp, got %s", n.Unit, x.Type())
+		}
+		return &expr.FloorTime{X: x, UnitMillis: n.Unit.Millis(), UnitName: n.Unit.String()}, nil
+	case *ast.FuncCall:
+		return b.bindCall(n)
+	case *ast.Subquery:
+		return nil, fmt.Errorf("validate: subqueries are only supported in FROM")
+	default:
+		return nil, fmt.Errorf("validate: unsupported expression %T", e)
+	}
+}
+
+func (b *binder) bindBinary(n *ast.Binary) (expr.Expr, error) {
+	l, err := b.bind(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.bind(n.R)
+	if err != nil {
+		return nil, err
+	}
+	op := binOpFor(n.Op)
+	switch {
+	case n.Op.Logical():
+		if err := requireBoolean(l, n.Op.String()); err != nil {
+			return nil, err
+		}
+		if err := requireBoolean(r, n.Op.String()); err != nil {
+			return nil, err
+		}
+		return &expr.Binary{Op: op, L: l, R: r, T: types.Boolean}, nil
+	case n.Op.Comparison():
+		if _, err := types.Common(l.Type(), r.Type()); err != nil {
+			return nil, fmt.Errorf("validate: cannot compare %s with %s", l.Type(), r.Type())
+		}
+		return &expr.Binary{Op: op, L: l, R: r, T: types.Boolean}, nil
+	case n.Op == ast.OpConcat:
+		return &expr.Binary{Op: expr.Concat, L: l, R: r, T: types.Varchar}, nil
+	default:
+		t, err := types.Common(l.Type(), r.Type())
+		if err != nil || !t.Numeric() && t != types.Null {
+			return nil, fmt.Errorf("validate: %s requires numeric operands, got %s and %s",
+				n.Op, l.Type(), r.Type())
+		}
+		// Timestamp - Timestamp yields an interval; Timestamp ± Interval
+		// stays a timestamp.
+		if l.Type() == types.Timestamp && r.Type() == types.Timestamp && n.Op == ast.OpSub {
+			t = types.Interval
+		}
+		return &expr.Binary{Op: op, L: l, R: r, T: t}, nil
+	}
+}
+
+func (b *binder) bindBetween(n *ast.Between) (expr.Expr, error) {
+	x, err := b.bind(n.X)
+	if err != nil {
+		return nil, err
+	}
+	lo, err := b.bind(n.Lo)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := b.bind(n.Hi)
+	if err != nil {
+		return nil, err
+	}
+	// x BETWEEN lo AND hi  =>  x >= lo AND x <= hi
+	ge := &expr.Binary{Op: expr.Gte, L: x, R: lo, T: types.Boolean}
+	le := &expr.Binary{Op: expr.Lte, L: x, R: hi, T: types.Boolean}
+	var out expr.Expr = &expr.Binary{Op: expr.And, L: ge, R: le, T: types.Boolean}
+	if n.Not {
+		out = &expr.Not{X: out}
+	}
+	return out, nil
+}
+
+func (b *binder) bindInList(n *ast.InList) (expr.Expr, error) {
+	x, err := b.bind(n.X)
+	if err != nil {
+		return nil, err
+	}
+	list := make([]expr.Expr, len(n.List))
+	for i, e := range n.List {
+		le, err := b.bind(e)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := types.Common(x.Type(), le.Type()); err != nil {
+			return nil, fmt.Errorf("validate: IN list item %d: %v", i, err)
+		}
+		list[i] = le
+	}
+	return &expr.InList{Not: n.Not, X: x, List: list}, nil
+}
+
+func (b *binder) bindCase(n *ast.Case) (expr.Expr, error) {
+	out := &expr.Case{}
+	resultT := types.Null
+	for _, w := range n.Whens {
+		var when ast.Expr = w.When
+		if n.Operand != nil {
+			// CASE x WHEN v THEN ... lowers to searched form x = v.
+			when = &ast.Binary{Op: ast.OpEq, L: n.Operand, R: w.When}
+		}
+		we, err := b.bind(when)
+		if err != nil {
+			return nil, err
+		}
+		if err := requireBoolean(we, "CASE WHEN"); err != nil {
+			return nil, err
+		}
+		te, err := b.bind(w.Then)
+		if err != nil {
+			return nil, err
+		}
+		resultT, err = types.Common(resultT, te.Type())
+		if err != nil {
+			return nil, fmt.Errorf("validate: CASE branches disagree: %v", err)
+		}
+		out.Whens = append(out.Whens, expr.CaseWhen{When: we, Then: te})
+	}
+	if n.Else != nil {
+		ee, err := b.bind(n.Else)
+		if err != nil {
+			return nil, err
+		}
+		resultT, err = types.Common(resultT, ee.Type())
+		if err != nil {
+			return nil, fmt.Errorf("validate: CASE ELSE disagrees: %v", err)
+		}
+		out.Else = ee
+	}
+	out.T = resultT
+	return out, nil
+}
+
+func (b *binder) bindCall(n *ast.FuncCall) (expr.Expr, error) {
+	if n.Over != nil {
+		return nil, fmt.Errorf("validate: analytic function %s used where plain expressions are required", n.Name)
+	}
+	if IsAggregate(n.Name) {
+		return nil, fmt.Errorf("validate: aggregate %s is not allowed here", n.Name)
+	}
+	if n.Name == "HOP" || n.Name == "TUMBLE" {
+		return nil, fmt.Errorf("validate: %s is only allowed in GROUP BY", n.Name)
+	}
+	var (
+		minArgs, maxArgs int
+		resultType       func([]types.Type) (types.Type, error)
+	)
+	if fn, ok := expr.Builtins[n.Name]; ok {
+		minArgs, maxArgs, resultType = fn.MinArgs, fn.MaxArgs, fn.ResultType
+	} else if u, ok := udf.LookupScalar(n.Name); ok {
+		minArgs, maxArgs, resultType = u.MinArgs, u.MaxArgs, u.ResultType
+	} else {
+		return nil, fmt.Errorf("validate: unknown function %s", n.Name)
+	}
+	if len(n.Args) < minArgs || (maxArgs >= 0 && len(n.Args) > maxArgs) {
+		return nil, fmt.Errorf("validate: %s takes %d..%d arguments, got %d",
+			n.Name, minArgs, maxArgs, len(n.Args))
+	}
+	args := make([]expr.Expr, len(n.Args))
+	argTypes := make([]types.Type, len(n.Args))
+	for i, a := range n.Args {
+		ae, err := b.bind(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = ae
+		argTypes[i] = ae.Type()
+	}
+	rt, err := resultType(argTypes)
+	if err != nil {
+		return nil, fmt.Errorf("validate: %s: %v", n.Name, err)
+	}
+	return &expr.Call{Fn: n.Name, Args: args, T: rt}, nil
+}
+
+func binOpFor(op ast.BinaryOp) expr.BinOp {
+	switch op {
+	case ast.OpAdd:
+		return expr.Add
+	case ast.OpSub:
+		return expr.Sub
+	case ast.OpMul:
+		return expr.Mul
+	case ast.OpDiv:
+		return expr.Div
+	case ast.OpMod:
+		return expr.Mod
+	case ast.OpConcat:
+		return expr.Concat
+	case ast.OpEq:
+		return expr.Eq
+	case ast.OpNeq:
+		return expr.Neq
+	case ast.OpLt:
+		return expr.Lt
+	case ast.OpLte:
+		return expr.Lte
+	case ast.OpGt:
+		return expr.Gt
+	case ast.OpGte:
+		return expr.Gte
+	case ast.OpAnd:
+		return expr.And
+	default:
+		return expr.Or
+	}
+}
+
+func requireBoolean(e expr.Expr, where string) error {
+	if e.Type() != types.Boolean && e.Type() != types.Null {
+		return fmt.Errorf("validate: %s requires a boolean, got %s", where, e.Type())
+	}
+	return nil
+}

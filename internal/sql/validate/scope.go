@@ -1,0 +1,104 @@
+// Package validate resolves and type-checks SamzaSQL statements against a
+// catalog, producing bound (column-resolved, typed) expression trees and
+// query structure that the planner lowers to physical operators. It enforces
+// the streaming rules of §3: STREAM legality, window functions in GROUP BY,
+// timestamp requirements for time windows, and emits the
+// timestamp-preservation warnings called out as future work in §7.
+package validate
+
+import (
+	"fmt"
+
+	"samzasql/internal/sql/catalog"
+	"samzasql/internal/sql/types"
+)
+
+// Relation is one FROM-clause input visible in a scope.
+type Relation struct {
+	// Alias is the name expressions use to qualify columns (the table
+	// alias, or the table name itself).
+	Alias string
+	// Object is the catalog entry for base streams/tables; nil for
+	// subqueries and expanded views.
+	Object *catalog.Object
+	// Sub is the bound subquery for derived relations.
+	Sub *BoundSelect
+	// Row is the relation's row type.
+	Row *types.RowType
+	// Offset is where this relation's columns start in the scope's
+	// combined row.
+	Offset int
+	// IsStream reports whether rows keep arriving (stream or view over
+	// streams).
+	IsStream bool
+	// TimestampIdx is the event-time column index within Row, or -1.
+	TimestampIdx int
+}
+
+// Scope is the namespace for binding expressions: the relations of one
+// SELECT's FROM clause, with a combined row layout (left columns then right
+// columns for joins).
+type Scope struct {
+	Rels []*Relation
+}
+
+// Combined returns the concatenated row type of all relations.
+func (s *Scope) Combined() *types.RowType {
+	var cols []types.Column
+	for _, r := range s.Rels {
+		cols = append(cols, r.Row.Columns...)
+	}
+	return types.NewRowType(cols...)
+}
+
+// resolveColumn finds (relation, column index within relation) for a
+// possibly qualified name.
+func (s *Scope) resolveColumn(qualifier, name string) (*Relation, int, error) {
+	if qualifier != "" {
+		for _, r := range s.Rels {
+			if equalFold(r.Alias, qualifier) {
+				idx := r.Row.Index(name)
+				if idx < 0 {
+					return nil, 0, fmt.Errorf("validate: column %q not found in %q", name, qualifier)
+				}
+				return r, idx, nil
+			}
+		}
+		return nil, 0, fmt.Errorf("validate: unknown table or alias %q", qualifier)
+	}
+	var foundRel *Relation
+	foundIdx := -1
+	for _, r := range s.Rels {
+		idx := r.Row.Index(name)
+		if idx < 0 {
+			continue
+		}
+		if foundRel != nil {
+			return nil, 0, fmt.Errorf("validate: column %q is ambiguous", name)
+		}
+		foundRel, foundIdx = r, idx
+	}
+	if foundRel == nil {
+		return nil, 0, fmt.Errorf("validate: column %q not found", name)
+	}
+	return foundRel, foundIdx, nil
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,507 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"samzasql/internal/sql/ast"
+	"samzasql/internal/sql/catalog"
+	"samzasql/internal/sql/parser"
+	"samzasql/internal/sql/types"
+)
+
+// paperCatalog builds the example schema of §3.2: Orders/Packets/Bids/Asks
+// streams and Products/Suppliers tables.
+func paperCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	define := func(o *catalog.Object) {
+		if err := cat.Define(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	define(&catalog.Object{
+		Kind: catalog.Stream, Name: "Orders", Topic: "orders", TimestampCol: "rowtime",
+		Row: types.NewRowType(
+			types.Column{Name: "rowtime", Type: types.Timestamp},
+			types.Column{Name: "productId", Type: types.Bigint},
+			types.Column{Name: "orderId", Type: types.Bigint},
+			types.Column{Name: "units", Type: types.Bigint},
+		),
+	})
+	define(&catalog.Object{
+		Kind: catalog.Table, Name: "Products", Topic: "products-changelog",
+		Row: types.NewRowType(
+			types.Column{Name: "productId", Type: types.Bigint},
+			types.Column{Name: "name", Type: types.Varchar},
+			types.Column{Name: "supplierId", Type: types.Bigint},
+		),
+	})
+	define(&catalog.Object{
+		Kind: catalog.Table, Name: "Suppliers", Topic: "suppliers-changelog",
+		Row: types.NewRowType(
+			types.Column{Name: "supplierId", Type: types.Bigint},
+			types.Column{Name: "name", Type: types.Varchar},
+			types.Column{Name: "location", Type: types.Varchar},
+		),
+	})
+	for _, p := range []string{"PacketsR1", "PacketsR2"} {
+		define(&catalog.Object{
+			Kind: catalog.Stream, Name: p, Topic: strings.ToLower(p), TimestampCol: "rowtime",
+			Row: types.NewRowType(
+				types.Column{Name: "rowtime", Type: types.Timestamp},
+				types.Column{Name: "sourcetime", Type: types.Timestamp},
+				types.Column{Name: "packetId", Type: types.Bigint},
+			),
+		})
+	}
+	return cat
+}
+
+func validateQuery(t *testing.T, src string) (*Result, error) {
+	t.Helper()
+	stmt, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return New(paperCatalog(t)).Validate(stmt)
+}
+
+func mustValidate(t *testing.T, src string) *Result {
+	t.Helper()
+	res, err := validateQuery(t, src)
+	if err != nil {
+		t.Fatalf("validate %q: %v", src, err)
+	}
+	return res
+}
+
+func TestSelectStreamStar(t *testing.T) {
+	res := mustValidate(t, "SELECT STREAM * FROM Orders")
+	b := res.Root
+	if !b.Streaming || b.Grouped() {
+		t.Fatalf("flags: streaming=%v grouped=%v", b.Streaming, b.Grouped())
+	}
+	if b.Output.Arity() != 4 || b.Output.Columns[0].Name != "rowtime" {
+		t.Fatalf("output %v", b.Output)
+	}
+	if b.TimestampIdx != 0 {
+		t.Fatalf("ts idx %d", b.TimestampIdx)
+	}
+}
+
+func TestFilterProjection(t *testing.T) {
+	res := mustValidate(t, "SELECT STREAM rowtime, productId, units FROM Orders WHERE units > 25")
+	b := res.Root
+	if b.Where == nil || b.Where.Type() != types.Boolean {
+		t.Fatalf("where %v", b.Where)
+	}
+	if b.Output.Arity() != 3 {
+		t.Fatalf("output %v", b.Output)
+	}
+}
+
+func TestNonStreamQueryOverStream(t *testing.T) {
+	// Absence of STREAM makes it a bounded historical query (§3.3).
+	res := mustValidate(t, "SELECT * FROM Orders WHERE units > 25")
+	if res.Root.Streaming {
+		t.Fatal("non-STREAM query marked streaming")
+	}
+}
+
+func TestStreamOverTableRejected(t *testing.T) {
+	_, err := validateQuery(t, "SELECT STREAM * FROM Products")
+	if err == nil || !strings.Contains(err.Error(), "stream") {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestTumbleWindow(t *testing.T) {
+	res := mustValidate(t, `
+		SELECT STREAM START(rowtime), COUNT(*)
+		FROM Orders GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR)`)
+	b := res.Root
+	if b.Window == nil || b.Window.Kind != WindowTumble {
+		t.Fatalf("window %+v", b.Window)
+	}
+	if b.Window.EmitMillis != 3600_000 || b.Window.RetainMillis != 3600_000 {
+		t.Fatalf("window %+v", b.Window)
+	}
+	if len(b.Aggs) != 2 {
+		t.Fatalf("aggs %v", b.Aggs)
+	}
+	if b.Aggs[0].Fn != "START" || b.Aggs[1].Fn != "COUNT" {
+		t.Fatalf("agg fns %s %s", b.Aggs[0].Fn, b.Aggs[1].Fn)
+	}
+	if b.Output.Columns[0].Type != types.Timestamp {
+		t.Fatalf("START type %v", b.Output.Columns[0].Type)
+	}
+	if b.TimestampIdx != 0 {
+		t.Fatalf("ts idx %d", b.TimestampIdx)
+	}
+}
+
+func TestHopWindowWithAlignment(t *testing.T) {
+	res := mustValidate(t, `
+		SELECT STREAM START(rowtime), COUNT(*)
+		FROM Orders GROUP BY HOP(rowtime,
+		  INTERVAL '1:30' HOUR TO MINUTE, INTERVAL '2' HOUR, TIME '0:30')`)
+	w := res.Root.Window
+	if w.Kind != WindowHop || w.EmitMillis != 90*60000 || w.RetainMillis != 7200_000 || w.AlignMillis != 30*60000 {
+		t.Fatalf("window %+v", w)
+	}
+}
+
+func TestGroupByKeysAndHaving(t *testing.T) {
+	res := mustValidate(t, `
+		SELECT STREAM FLOOR(rowtime TO HOUR), productId, COUNT(*), SUM(units)
+		FROM Orders
+		GROUP BY FLOOR(rowtime TO HOUR), productId
+		HAVING COUNT(*) > 2 OR SUM(units) > 10`)
+	b := res.Root
+	if len(b.GroupKeys) != 2 || len(b.Aggs) != 2 {
+		t.Fatalf("keys %d aggs %d", len(b.GroupKeys), len(b.Aggs))
+	}
+	if b.Having == nil {
+		t.Fatal("HAVING lost")
+	}
+	// COUNT(*) reused between SELECT and HAVING.
+	if b.Aggs[0].Fn != "COUNT" || b.Aggs[1].Fn != "SUM" {
+		t.Fatalf("aggs %v %v", b.Aggs[0].Fn, b.Aggs[1].Fn)
+	}
+	// Output: floor(ts) is a Timestamp key.
+	if b.Output.Columns[0].Type != types.Timestamp || b.TimestampIdx != 0 {
+		t.Fatalf("output %v tsIdx=%d", b.Output, b.TimestampIdx)
+	}
+}
+
+func TestUngroupedColumnRejected(t *testing.T) {
+	_, err := validateQuery(t, "SELECT productId, orderId, COUNT(*) FROM Orders GROUP BY productId")
+	if err == nil || !strings.Contains(err.Error(), "GROUP BY") {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestAggregateInWhereRejected(t *testing.T) {
+	_, err := validateQuery(t, "SELECT productId FROM Orders WHERE SUM(units) > 5 GROUP BY productId")
+	if err == nil || !strings.Contains(err.Error(), "WHERE") {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestSlidingWindowAnalytic(t *testing.T) {
+	res := mustValidate(t, `
+		SELECT STREAM rowtime, productId, units,
+		  SUM(units) OVER (PARTITION BY productId ORDER BY rowtime
+		    RANGE INTERVAL '1' HOUR PRECEDING) unitsLastHour
+		FROM Orders`)
+	b := res.Root
+	if len(b.Analytics) != 1 {
+		t.Fatalf("analytics %v", b.Analytics)
+	}
+	an := b.Analytics[0]
+	if an.Fn != "SUM" || an.IsRows || an.FrameMillis != 3600_000 || len(an.PartitionBy) != 1 {
+		t.Fatalf("analytic %+v", an)
+	}
+	if b.Output.Arity() != 4 || b.Output.Columns[3].Name != "unitsLastHour" {
+		t.Fatalf("output %v", b.Output)
+	}
+}
+
+func TestRowsFrame(t *testing.T) {
+	res := mustValidate(t, `
+		SELECT STREAM rowtime, SUM(units) OVER (PARTITION BY productId
+		  ORDER BY rowtime ROWS 10 PRECEDING) s
+		FROM Orders`)
+	an := res.Root.Analytics[0]
+	if !an.IsRows || an.FrameRows != 10 {
+		t.Fatalf("analytic %+v", an)
+	}
+}
+
+func TestAnalyticFrameRequired(t *testing.T) {
+	_, err := validateQuery(t, "SELECT STREAM SUM(units) OVER (PARTITION BY productId ORDER BY rowtime) FROM Orders")
+	if err == nil || !strings.Contains(err.Error(), "frame") {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestRangeFrameRequiresTimestampOrder(t *testing.T) {
+	_, err := validateQuery(t, `
+		SELECT STREAM SUM(units) OVER (ORDER BY productId
+		  RANGE INTERVAL '1' HOUR PRECEDING) FROM Orders`)
+	if err == nil || !strings.Contains(err.Error(), "TIMESTAMP") {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestStreamToRelationJoin(t *testing.T) {
+	res := mustValidate(t, `
+		SELECT STREAM Orders.rowtime, Orders.orderId, Orders.productId,
+		  Orders.units, Products.supplierId
+		FROM Orders JOIN Products ON Orders.productId = Products.productId`)
+	b := res.Root
+	if b.Join == nil {
+		t.Fatal("join info missing")
+	}
+	if b.Join.LeftKey == nil || b.Join.RightKey == nil {
+		t.Fatal("equi keys not extracted")
+	}
+	if b.Join.WindowMillis != 0 {
+		t.Fatalf("relation join has window %d", b.Join.WindowMillis)
+	}
+	if b.Output.Arity() != 5 {
+		t.Fatalf("output %v", b.Output)
+	}
+}
+
+func TestStreamToStreamJoinListing7(t *testing.T) {
+	res := mustValidate(t, `
+		SELECT STREAM
+		  GREATEST(PacketsR1.rowtime, PacketsR2.rowtime) AS rowtime,
+		  PacketsR1.sourcetime, PacketsR1.packetId,
+		  PacketsR2.rowtime - PacketsR1.rowtime AS timeToTravel
+		FROM PacketsR1 JOIN PacketsR2 ON
+		  PacketsR1.rowtime BETWEEN PacketsR2.rowtime - INTERVAL '2' SECOND
+		    AND PacketsR2.rowtime + INTERVAL '2' SECOND
+		  AND PacketsR1.packetId = PacketsR2.packetId`)
+	b := res.Root
+	if b.Join.WindowMillis != 2000 {
+		t.Fatalf("join window %d", b.Join.WindowMillis)
+	}
+	if b.Join.LeftKey == nil {
+		t.Fatal("equi key missing")
+	}
+	// GREATEST of two timestamps is the output rowtime.
+	if b.Output.Columns[0].Type != types.Timestamp || b.TimestampIdx != 0 {
+		t.Fatalf("output %v", b.Output)
+	}
+	// Timestamp difference is an interval.
+	if b.Output.Columns[3].Type != types.Interval {
+		t.Fatalf("timeToTravel type %v", b.Output.Columns[3].Type)
+	}
+}
+
+func TestStreamJoinWithoutWindowRejected(t *testing.T) {
+	_, err := validateQuery(t, `
+		SELECT STREAM PacketsR1.packetId
+		FROM PacketsR1 JOIN PacketsR2
+		ON PacketsR1.packetId = PacketsR2.packetId`)
+	if err == nil || !strings.Contains(err.Error(), "window") {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestStreamJoinWithoutEquiKeyRejected(t *testing.T) {
+	_, err := validateQuery(t, `
+		SELECT STREAM PacketsR1.packetId
+		FROM PacketsR1 JOIN PacketsR2
+		ON PacketsR1.rowtime BETWEEN PacketsR2.rowtime - INTERVAL '2' SECOND
+		  AND PacketsR2.rowtime + INTERVAL '2' SECOND`)
+	if err == nil || !strings.Contains(err.Error(), "equality") {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestSubqueryAndStreamDiscardWarning(t *testing.T) {
+	res := mustValidate(t, `
+		SELECT STREAM rowtime, productId
+		FROM (SELECT STREAM rowtime, productId, units FROM Orders) WHERE units > 5`)
+	if len(res.Warnings) == 0 || !strings.Contains(res.Warnings[0], "discarded") {
+		t.Fatalf("warnings %v", res.Warnings)
+	}
+	if res.Root.Output.Arity() != 2 {
+		t.Fatalf("output %v", res.Root.Output)
+	}
+}
+
+func TestGroupedSubquery(t *testing.T) {
+	res := mustValidate(t, `
+		SELECT STREAM rowtime, productId
+		FROM (
+		  SELECT FLOOR(rowtime TO HOUR) AS rowtime, productId,
+		    COUNT(*) AS c, SUM(units) AS su
+		  FROM Orders GROUP BY FLOOR(rowtime TO HOUR), productId)
+		WHERE c > 2 OR su > 10`)
+	b := res.Root
+	sub := b.Scope.Rels[0].Sub
+	if sub == nil || !sub.Grouped() {
+		t.Fatal("subquery not grouped")
+	}
+	if b.Output.Arity() != 2 {
+		t.Fatalf("output %v", b.Output)
+	}
+}
+
+func TestCreateView(t *testing.T) {
+	res := mustValidate(t, `
+		CREATE VIEW HourlyOrderTotals (rowtime, productId, c, su) AS
+		SELECT FLOOR(rowtime TO HOUR), productId, COUNT(*), SUM(units)
+		FROM Orders GROUP BY FLOOR(rowtime TO HOUR), productId`)
+	if res.View == nil {
+		t.Fatal("view marker missing")
+	}
+	out := res.Root.Output
+	if out.Columns[2].Name != "c" || out.Columns[3].Name != "su" {
+		t.Fatalf("view columns %v", out)
+	}
+}
+
+func TestViewExpansion(t *testing.T) {
+	cat := paperCatalog(t)
+	viewStmt, err := parser.Parse(`
+		CREATE VIEW HourlyOrderTotals (rowtime, productId, c, su) AS
+		SELECT FLOOR(rowtime TO HOUR), productId, COUNT(*), SUM(units)
+		FROM Orders GROUP BY FLOOR(rowtime TO HOUR), productId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(cat)
+	res, err := v.Validate(viewStmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Define(&catalog.Object{
+		Kind: catalog.View,
+		Name: res.View.Name,
+		Row:  res.Root.Output,
+		Def:  res.View.Select,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.Parse("SELECT STREAM rowtime, productId FROM HourlyOrderTotals WHERE c > 2 OR su > 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := v.Validate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Root.Output.Arity() != 2 {
+		t.Fatalf("output %v", res2.Root.Output)
+	}
+	if !res2.Root.Streaming {
+		t.Fatal("query over stream-backed view should be streamable")
+	}
+}
+
+func TestInsertInto(t *testing.T) {
+	res := mustValidate(t, "INSERT INTO Orders SELECT STREAM * FROM Orders WHERE units > 100")
+	if res.InsertTarget != "Orders" {
+		t.Fatalf("target %q", res.InsertTarget)
+	}
+	_, err := validateQuery(t, "INSERT INTO Orders SELECT STREAM rowtime FROM Orders")
+	if err == nil || !strings.Contains(err.Error(), "columns") {
+		t.Fatalf("arity mismatch: %v", err)
+	}
+}
+
+func TestTimestampWarningOnProjection(t *testing.T) {
+	res := mustValidate(t, "SELECT STREAM productId, units FROM Orders")
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "timestamp") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing timestamp warning: %v", res.Warnings)
+	}
+	if res.Root.TimestampIdx != -1 {
+		t.Fatalf("ts idx %d", res.Root.TimestampIdx)
+	}
+}
+
+func TestWindowOverDerivedStreamWithoutTimestampRejected(t *testing.T) {
+	// The §7 scenario: projection drops rowtime, then a window query on the
+	// derived stream must fail.
+	_, err := validateQuery(t, `
+		SELECT STREAM COUNT(*) FROM
+		  (SELECT productId, units FROM Orders)
+		GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR)`)
+	if err == nil {
+		t.Fatal("window over timestamp-less derived stream accepted")
+	}
+}
+
+func TestUnknownColumnAndTable(t *testing.T) {
+	for _, q := range []string{
+		"SELECT STREAM nope FROM Orders",
+		"SELECT STREAM rowtime FROM Missing",
+		"SELECT STREAM Orders.rowtime FROM Orders AS o", // stale qualifier
+		"SELECT STREAM o.nope FROM Orders AS o",
+	} {
+		if _, err := validateQuery(t, q); err == nil {
+			t.Errorf("validate(%q) succeeded", q)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	_, err := validateQuery(t, `
+		SELECT name FROM Products JOIN Suppliers
+		ON Products.supplierId = Suppliers.supplierId`)
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	for _, q := range []string{
+		"SELECT STREAM * FROM Orders WHERE units + 'x' > 1",
+		"SELECT STREAM * FROM Orders WHERE units",   // non-boolean WHERE
+		"SELECT STREAM units LIKE 'x%' FROM Orders", // LIKE over BIGINT
+		"SELECT STREAM NOT units FROM Orders",       // NOT over BIGINT
+		"SELECT STREAM FLOOR(name TO HOUR) FROM Orders",
+	} {
+		if _, err := validateQuery(t, q); err == nil {
+			t.Errorf("validate(%q) succeeded", q)
+		}
+	}
+}
+
+func TestDistinctStreamingRejected(t *testing.T) {
+	_, err := validateQuery(t, "SELECT DISTINCT productId FROM Orders")
+	if err != nil {
+		t.Fatalf("table-mode DISTINCT should validate: %v", err)
+	}
+	_, err = validateQuery(t, "SELECT STREAM DISTINCT productId FROM Orders")
+	if err == nil || !strings.Contains(err.Error(), "DISTINCT") {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestImplicitSingleGroup(t *testing.T) {
+	res := mustValidate(t, "SELECT COUNT(*), SUM(units) FROM Orders")
+	b := res.Root
+	if !b.Grouped() || len(b.GroupKeys) != 0 || len(b.Aggs) != 2 {
+		t.Fatalf("keys %d aggs %d", len(b.GroupKeys), len(b.Aggs))
+	}
+}
+
+func TestStartWithoutWindowRejected(t *testing.T) {
+	_, err := validateQuery(t, "SELECT START(rowtime) FROM Orders GROUP BY productId")
+	if err == nil || !strings.Contains(err.Error(), "HOP or TUMBLE") {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestJoinKindRestrictions(t *testing.T) {
+	_, err := validateQuery(t, `
+		SELECT STREAM Orders.rowtime FROM Orders
+		LEFT JOIN Products ON Orders.productId = Products.productId`)
+	if err == nil || !strings.Contains(err.Error(), "INNER") {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestQualifiedStar(t *testing.T) {
+	res := mustValidate(t, `
+		SELECT STREAM o.*, Products.supplierId
+		FROM Orders o JOIN Products ON o.productId = Products.productId`)
+	if res.Root.Output.Arity() != 5 {
+		t.Fatalf("output %v", res.Root.Output)
+	}
+}
+
+var _ = ast.InnerJoin // keep ast imported for helper visibility

@@ -1,0 +1,286 @@
+// Package workload generates the synthetic evaluation data of §5.1: an
+// Orders stream of 100-byte Avro messages (padded with a random string, as
+// the paper does to hit the Kafka benchmark's sweet-spot message size), a
+// Products relation delivered as a changelog, and the PacketsR1/R2 streams
+// used by the stream-to-stream join example.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"samzasql/internal/avro"
+	"samzasql/internal/kafka"
+	"samzasql/internal/sql/catalog"
+	"samzasql/internal/sql/types"
+)
+
+// TargetMessageBytes is the benchmark message size (§5.1).
+const TargetMessageBytes = 100
+
+// OrdersSchema is the Avro wire schema of the Orders stream.
+func OrdersSchema() *avro.Schema {
+	return avro.Record("Orders",
+		avro.F("rowtime", avro.Long()),
+		avro.F("productId", avro.Long()),
+		avro.F("orderId", avro.Long()),
+		avro.F("units", avro.Long()),
+		avro.F("pad", avro.String()),
+	)
+}
+
+// ProductsSchema is the Avro wire schema of the Products relation.
+func ProductsSchema() *avro.Schema {
+	return avro.Record("Products",
+		avro.F("productId", avro.Long()),
+		avro.F("name", avro.String()),
+		avro.F("supplierId", avro.Long()),
+	)
+}
+
+// PacketsSchema is the Avro wire schema of the Packets streams.
+func PacketsSchema(name string) *avro.Schema {
+	return avro.Record(name,
+		avro.F("rowtime", avro.Long()),
+		avro.F("sourcetime", avro.Long()),
+		avro.F("packetId", avro.Long()),
+	)
+}
+
+// DefineCatalog registers the evaluation schema (§3.2's running example) in
+// a catalog: Orders/PacketsR1/PacketsR2 streams and the Products table.
+func DefineCatalog(cat *catalog.Catalog) error {
+	objects := []*catalog.Object{
+		{
+			Kind: catalog.Stream, Name: "Orders", Topic: "orders", TimestampCol: "rowtime",
+			PartitionKeyCol: "productId",
+			Row: types.NewRowType(
+				types.Column{Name: "rowtime", Type: types.Timestamp},
+				types.Column{Name: "productId", Type: types.Bigint},
+				types.Column{Name: "orderId", Type: types.Bigint},
+				types.Column{Name: "units", Type: types.Bigint},
+				types.Column{Name: "pad", Type: types.Varchar},
+			),
+		},
+		{
+			Kind: catalog.Table, Name: "Products", Topic: "products",
+			PartitionKeyCol: "productId",
+			Row: types.NewRowType(
+				types.Column{Name: "productId", Type: types.Bigint},
+				types.Column{Name: "name", Type: types.Varchar},
+				types.Column{Name: "supplierId", Type: types.Bigint},
+			),
+		},
+		{
+			Kind: catalog.Stream, Name: "PacketsR1", Topic: "packets-r1", TimestampCol: "rowtime",
+			PartitionKeyCol: "packetId", Row: packetsRow(),
+		},
+		{
+			Kind: catalog.Stream, Name: "PacketsR2", Topic: "packets-r2", TimestampCol: "rowtime",
+			PartitionKeyCol: "packetId", Row: packetsRow(),
+		},
+	}
+	for _, o := range objects {
+		if err := cat.Define(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func packetsRow() *types.RowType {
+	return types.NewRowType(
+		types.Column{Name: "rowtime", Type: types.Timestamp},
+		types.Column{Name: "sourcetime", Type: types.Timestamp},
+		types.Column{Name: "packetId", Type: types.Bigint},
+	)
+}
+
+// OrdersConfig parameterizes the Orders generator.
+type OrdersConfig struct {
+	// Products is the distinct productId count (keys of the join and the
+	// sliding-window partitioning).
+	Products int
+	// StartTs and TsStepMillis drive rowtime: each record advances the
+	// clock by TsStepMillis (deterministic event time).
+	StartTs      int64
+	TsStepMillis int64
+	// MaxUnits bounds the uniform units column (1..MaxUnits).
+	MaxUnits int
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+// DefaultOrdersConfig matches the evaluation workload.
+func DefaultOrdersConfig() OrdersConfig {
+	return OrdersConfig{
+		Products:     100,
+		StartTs:      1_600_000_000_000,
+		TsStepMillis: 10,
+		MaxUnits:     100,
+		Seed:         42,
+	}
+}
+
+// OrdersGen produces Orders records as pre-encoded 100-byte Avro messages.
+type OrdersGen struct {
+	cfg   OrdersConfig
+	codec *avro.Codec
+	rng   *rand.Rand
+	next  int64
+	ts    int64
+	// padLen is computed once so every message hits the target size.
+	padLen int
+}
+
+// NewOrdersGen builds a deterministic generator.
+func NewOrdersGen(cfg OrdersConfig) *OrdersGen {
+	g := &OrdersGen{
+		cfg:   cfg,
+		codec: avro.MustCodec(OrdersSchema()),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		ts:    cfg.StartTs,
+	}
+	// Size a probe record to derive the pad length for ~100B messages.
+	probe, err := g.codec.EncodeRow([]any{cfg.StartTs, int64(cfg.Products), int64(1 << 40), int64(cfg.MaxUnits), ""})
+	if err != nil {
+		panic(err)
+	}
+	g.padLen = TargetMessageBytes - len(probe)
+	if g.padLen < 0 {
+		g.padLen = 0
+	}
+	return g
+}
+
+// Codec exposes the Orders codec.
+func (g *OrdersGen) Codec() *avro.Codec { return g.codec }
+
+// Next returns the next record: its row, partition key (productId, so joins
+// co-partition) and Avro encoding.
+func (g *OrdersGen) Next() (row []any, key []byte, value []byte, err error) {
+	orderID := g.next
+	g.next++
+	g.ts += g.cfg.TsStepMillis
+	productID := int64(g.rng.Intn(g.cfg.Products))
+	units := int64(g.rng.Intn(g.cfg.MaxUnits) + 1)
+	pad := randString(g.rng, g.padLen)
+	row = []any{g.ts, productID, orderID, units, pad}
+	value, err = g.codec.EncodeRow(row)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	key = []byte(fmt.Sprintf("%d", productID))
+	return row, key, value, nil
+}
+
+const padAlphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+func randString(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = padAlphabet[rng.Intn(len(padAlphabet))]
+	}
+	return string(b)
+}
+
+// ProduceOrders creates the topic (if needed) and appends count records,
+// keyed by productId.
+func ProduceOrders(b *kafka.Broker, topic string, partitions int32, count int, cfg OrdersConfig) (*OrdersGen, error) {
+	if err := b.EnsureTopic(topic, kafka.TopicConfig{Partitions: partitions}); err != nil {
+		return nil, err
+	}
+	g := NewOrdersGen(cfg)
+	for i := 0; i < count; i++ {
+		row, key, value, err := g.Next()
+		if err != nil {
+			return nil, err
+		}
+		_, err = b.Produce(topic, kafka.Message{
+			Partition: -1,
+			Key:       key,
+			Value:     value,
+			Timestamp: row[0].(int64),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// ProduceProducts writes the Products relation as a compacted changelog
+// keyed by productId, co-partitioned with Orders.
+func ProduceProducts(b *kafka.Broker, topic string, partitions int32, products int) error {
+	if err := b.EnsureTopic(topic, kafka.TopicConfig{Partitions: partitions, Compacted: true}); err != nil {
+		return err
+	}
+	codec := avro.MustCodec(ProductsSchema())
+	for id := 0; id < products; id++ {
+		row := []any{int64(id), fmt.Sprintf("product-%d", id), int64(id % 10)}
+		value, err := codec.EncodeRow(row)
+		if err != nil {
+			return err
+		}
+		_, err = b.Produce(topic, kafka.Message{
+			Partition: -1,
+			Key:       []byte(fmt.Sprintf("%d", id)),
+			Value:     value,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PacketsConfig parameterizes the packet-pair generator.
+type PacketsConfig struct {
+	StartTs int64
+	// GapMillis separates consecutive packets at R1.
+	GapMillis int64
+	// TravelMillis is the max R1→R2 latency (uniform).
+	TravelMillis int64
+	Seed         int64
+}
+
+// DefaultPacketsConfig matches the Listing 7 example.
+func DefaultPacketsConfig() PacketsConfig {
+	return PacketsConfig{StartTs: 1_600_000_000_000, GapMillis: 20, TravelMillis: 1500, Seed: 7}
+}
+
+// ProducePackets writes correlated packet observations to both router
+// streams, keyed by packetId so the join co-partitions.
+func ProducePackets(b *kafka.Broker, topicR1, topicR2 string, partitions int32, count int, cfg PacketsConfig) error {
+	for _, topic := range []string{topicR1, topicR2} {
+		if err := b.EnsureTopic(topic, kafka.TopicConfig{Partitions: partitions}); err != nil {
+			return err
+		}
+	}
+	c1 := avro.MustCodec(PacketsSchema("PacketsR1"))
+	c2 := avro.MustCodec(PacketsSchema("PacketsR2"))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ts := cfg.StartTs
+	for i := 0; i < count; i++ {
+		ts += cfg.GapMillis
+		source := ts - 1 // packet creation just before R1 sees it
+		pid := int64(i)
+		key := []byte(fmt.Sprintf("%d", pid))
+		v1, err := c1.EncodeRow([]any{ts, source, pid})
+		if err != nil {
+			return err
+		}
+		if _, err := b.Produce(topicR1, kafka.Message{Partition: -1, Key: key, Value: v1, Timestamp: ts}); err != nil {
+			return err
+		}
+		arrive := ts + 1 + rng.Int63n(cfg.TravelMillis)
+		v2, err := c2.EncodeRow([]any{arrive, source, pid})
+		if err != nil {
+			return err
+		}
+		if _, err := b.Produce(topicR2, kafka.Message{Partition: -1, Key: key, Value: v2, Timestamp: arrive}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"testing"
+
+	"samzasql/internal/avro"
+	"samzasql/internal/kafka"
+	"samzasql/internal/sql/catalog"
+)
+
+func TestOrdersGenDeterministic(t *testing.T) {
+	g1 := NewOrdersGen(DefaultOrdersConfig())
+	g2 := NewOrdersGen(DefaultOrdersConfig())
+	for i := 0; i < 100; i++ {
+		r1, k1, v1, err1 := g1.Next()
+		r2, k2, v2, err2 := g2.Next()
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if string(k1) != string(k2) || string(v1) != string(v2) {
+			t.Fatalf("generators diverged at record %d", i)
+		}
+		for j := range r1 {
+			if r1[j] != r2[j] {
+				t.Fatalf("row %d field %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestOrdersGenMessageSize(t *testing.T) {
+	g := NewOrdersGen(DefaultOrdersConfig())
+	for i := 0; i < 200; i++ {
+		_, _, value, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// §5.1 requires ~100-byte messages; allow varint wiggle.
+		if len(value) < 90 || len(value) > 110 {
+			t.Fatalf("record %d is %d bytes, want ~%d", i, len(value), TargetMessageBytes)
+		}
+	}
+}
+
+func TestOrdersGenFields(t *testing.T) {
+	cfg := DefaultOrdersConfig()
+	g := NewOrdersGen(cfg)
+	prevTs := int64(0)
+	for i := 0; i < 100; i++ {
+		row, key, value, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := row[0].(int64)
+		pid := row[1].(int64)
+		orderID := row[2].(int64)
+		units := row[3].(int64)
+		if ts <= prevTs {
+			t.Fatalf("rowtime not monotone at %d", i)
+		}
+		prevTs = ts
+		if pid < 0 || pid >= int64(cfg.Products) {
+			t.Fatalf("productId %d out of range", pid)
+		}
+		if orderID != int64(i) {
+			t.Fatalf("orderId %d, want %d", orderID, i)
+		}
+		if units < 1 || units > int64(cfg.MaxUnits) {
+			t.Fatalf("units %d out of range", units)
+		}
+		// Key is the productId (join co-partitioning).
+		decoded, err := g.Codec().DecodeRow(value, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if decoded[1].(int64) != pid {
+			t.Fatal("encoded row disagrees with returned row")
+		}
+		if string(key) == "" {
+			t.Fatal("empty partition key")
+		}
+	}
+}
+
+func TestDefineCatalogObjects(t *testing.T) {
+	cat := catalog.New()
+	if err := DefineCatalog(cat); err != nil {
+		t.Fatal(err)
+	}
+	orders, err := cat.Resolve("Orders")
+	if err != nil || orders.Kind != catalog.Stream || orders.TimestampCol != "rowtime" ||
+		orders.PartitionKeyCol != "productId" {
+		t.Fatalf("Orders: %+v %v", orders, err)
+	}
+	products, err := cat.Resolve("Products")
+	if err != nil || products.Kind != catalog.Table {
+		t.Fatalf("Products: %+v %v", products, err)
+	}
+	for _, name := range []string{"PacketsR1", "PacketsR2"} {
+		o, err := cat.Resolve(name)
+		if err != nil || o.PartitionKeyCol != "packetId" {
+			t.Fatalf("%s: %+v %v", name, o, err)
+		}
+	}
+}
+
+func TestProduceOrdersCoPartitionsWithProducts(t *testing.T) {
+	b := kafka.NewBroker()
+	const parts = 8
+	if _, err := ProduceOrders(b, "orders", parts, 200, DefaultOrdersConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ProduceProducts(b, "products", parts, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Every order's productId must hash to the same partition as the
+	// product row with that id — the invariant bootstrap joins rely on.
+	oc := avro.MustCodec(OrdersSchema())
+	for p := int32(0); p < parts; p++ {
+		tp := kafka.TopicPartition{Topic: "orders", Partition: p}
+		hwm, _ := b.HighWatermark(tp)
+		off := int64(0)
+		for off < hwm {
+			msgs, wait, err := b.Fetch(tp, off, 256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wait != nil {
+				break
+			}
+			for _, m := range msgs {
+				pid, err := oc.ReadField(m.Value, "productId")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pid.(int64) < 50 {
+					want := kafka.PartitionForKey(m.Key, parts)
+					if want != p {
+						t.Fatalf("order with key %q in partition %d, hash says %d", m.Key, p, want)
+					}
+				}
+			}
+			off = msgs[len(msgs)-1].Offset + 1
+		}
+	}
+}
+
+func TestProducePacketsCorrelated(t *testing.T) {
+	b := kafka.NewBroker()
+	if err := ProducePackets(b, "packets-r1", "packets-r2", 2, 100, DefaultPacketsConfig()); err != nil {
+		t.Fatal(err)
+	}
+	c1 := avro.MustCodec(PacketsSchema("PacketsR1"))
+	c2 := avro.MustCodec(PacketsSchema("PacketsR2"))
+	// Collect both sides by packetId.
+	type obs struct{ r1, r2 int64 }
+	seen := map[int64]*obs{}
+	read := func(topic string, codec *avro.Codec, isR1 bool) {
+		for p := int32(0); p < 2; p++ {
+			tp := kafka.TopicPartition{Topic: topic, Partition: p}
+			hwm, _ := b.HighWatermark(tp)
+			off := int64(0)
+			for off < hwm {
+				msgs, wait, err := b.Fetch(tp, off, 256)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wait != nil {
+					break
+				}
+				for _, m := range msgs {
+					row, err := codec.DecodeRow(m.Value, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					id := row[2].(int64)
+					o := seen[id]
+					if o == nil {
+						o = &obs{}
+						seen[id] = o
+					}
+					if isR1 {
+						o.r1 = row[0].(int64)
+					} else {
+						o.r2 = row[0].(int64)
+					}
+				}
+				off = msgs[len(msgs)-1].Offset + 1
+			}
+		}
+	}
+	read("packets-r1", c1, true)
+	read("packets-r2", c2, false)
+	if len(seen) != 100 {
+		t.Fatalf("%d packet ids", len(seen))
+	}
+	cfg := DefaultPacketsConfig()
+	for id, o := range seen {
+		if o.r1 == 0 || o.r2 == 0 {
+			t.Fatalf("packet %d missing an observation", id)
+		}
+		travel := o.r2 - o.r1
+		if travel <= 0 || travel > cfg.TravelMillis+1 {
+			t.Fatalf("packet %d travel %d out of range", id, travel)
+		}
+	}
+}
