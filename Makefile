@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench bench-figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector leg of verify. -short keeps the full-job figure sweeps out
+# (bench_test.go skips them) so the whole tree stays race-checked quickly.
+race:
+	$(GO) test -race -short ./...
+
+# The PR gate: static checks plus the race-enabled test run.
+verify: vet race
+
+# Quick container/hot-path benchmarks added for the task-parallelism work.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkContainerParallelism|BenchmarkTaskLoopMachineryAllocs' -benchmem ./internal/samza/
+	$(GO) test -run '^$$' -bench 'BenchmarkFilterMessageProcess' -benchmem ./internal/executor/
+
+# Full paper-figure regeneration (slow; see also cmd/samzasql-bench).
+bench-figures:
+	$(GO) test -run '^$$' -bench . -benchmem .

@@ -34,9 +34,19 @@ func benchConfig(containers int) bench.Config {
 	return cfg
 }
 
+// skipLongBench gates the benchmarks that run full jobs behind -short, so
+// `go test -race -short -bench .` (the Makefile's verify leg) stays fast.
+func skipLongBench(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping full-job benchmark sweep in -short mode")
+	}
+}
+
 // runFigureBenchmark measures one (implementation, query, containers) cell.
 func runFigureBenchmark(b *testing.B, impl, query string, containers int) {
 	b.Helper()
+	skipLongBench(b)
 	cfg := benchConfig(containers)
 	var total float64
 	for i := 0; i < b.N; i++ {
@@ -285,6 +295,7 @@ func BenchmarkAblationWindowStore(b *testing.B) {
 // task as containers grow; sweep partition counts at fixed containers.
 
 func benchPartitionScaling(b *testing.B, partitions int32) {
+	skipLongBench(b)
 	cfg := benchConfig(4)
 	cfg.Partitions = partitions
 	var total float64
@@ -324,6 +335,7 @@ func BenchmarkUsabilityLOCTable(b *testing.B) {
 // hand-written native job.
 
 func BenchmarkAblationFastPathOff(b *testing.B) {
+	skipLongBench(b)
 	cfg := benchConfig(1)
 	var total float64
 	for i := 0; i < b.N; i++ {
@@ -337,6 +349,7 @@ func BenchmarkAblationFastPathOff(b *testing.B) {
 }
 
 func BenchmarkAblationFastPathOn(b *testing.B) {
+	skipLongBench(b)
 	cfg := benchConfig(1)
 	cfg.FastPath = true
 	var total float64
@@ -351,6 +364,7 @@ func BenchmarkAblationFastPathOn(b *testing.B) {
 }
 
 func BenchmarkAblationFastPathNativeBaseline(b *testing.B) {
+	skipLongBench(b)
 	cfg := benchConfig(1)
 	var total float64
 	for i := 0; i < b.N; i++ {

@@ -25,6 +25,7 @@ func main() {
 		partitions = flag.Int("partitions", 32, "partitions per topic (paper: 32)")
 		products   = flag.Int("products", 100, "products relation cardinality")
 		containers = flag.String("containers", "", "comma-separated container counts (default: per-figure sweep)")
+		taskPar    = flag.Int("task-parallelism", 0, "max tasks processing concurrently per container (0 = all tasks parallel, 1 = sequential container loop); sweep at fixed -containers to measure tasks-per-core scaling")
 		check      = flag.Bool("check", false, "verify the measured shape matches the paper and exit non-zero otherwise")
 	)
 	flag.Parse()
@@ -33,6 +34,10 @@ func main() {
 	cfg.Messages = *messages
 	cfg.Partitions = int32(*partitions)
 	cfg.Products = *products
+	if *taskPar < 0 {
+		fatalf("bad -task-parallelism value %d", *taskPar)
+	}
+	cfg.TaskParallelism = *taskPar
 
 	var sweep []int
 	if *containers != "" {

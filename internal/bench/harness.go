@@ -26,6 +26,11 @@ type Config struct {
 	Products int
 	// Containers for the Samza job.
 	Containers int
+	// TaskParallelism bounds concurrent task execution inside each
+	// container: 0 runs every task in parallel, 1 reproduces the
+	// sequential container loop. Sweeping it at fixed containers measures
+	// tasks-per-core scaling.
+	TaskParallelism int
 	// WindowMillis for the sliding-window benchmarks (paper: 5 minutes).
 	WindowMillis int64
 	// FastPath enables the engine's fused execution mode (§7 future work
@@ -135,11 +140,12 @@ func RunNative(query string, cfg Config) (Result, error) {
 	}
 
 	job := &samza.JobSpec{
-		Name:        "native-" + query,
-		Inputs:      []samza.StreamSpec{{Topic: "orders"}},
-		Containers:  cfg.Containers,
-		CommitEvery: 100_000,
-		Config:      map[string]string{},
+		Name:            "native-" + query,
+		Inputs:          []samza.StreamSpec{{Topic: "orders"}},
+		Containers:      cfg.Containers,
+		TaskParallelism: cfg.TaskParallelism,
+		CommitEvery:     100_000,
+		Config:          map[string]string{},
 	}
 	switch query {
 	case "filter":
@@ -218,6 +224,7 @@ func RunSQL(query string, cfg Config) (Result, error) {
 		}
 	}
 	e.engine.Containers = cfg.Containers
+	e.engine.TaskParallelism = cfg.TaskParallelism
 	e.engine.FastPath = cfg.FastPath
 
 	ctx, cancel := context.WithCancel(context.Background())

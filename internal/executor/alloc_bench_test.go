@@ -1,0 +1,120 @@
+package executor
+
+import (
+	"testing"
+
+	"samzasql/internal/metrics"
+	"samzasql/internal/samza"
+	"samzasql/internal/sql/catalog"
+	"samzasql/internal/workload"
+	"samzasql/internal/zk"
+)
+
+// nullCollector counts sends without touching a broker, so the benchmarks
+// below measure only the task's own per-message machinery.
+type nullCollector struct{ sent int }
+
+func (c *nullCollector) Send(samza.OutgoingMessageEnvelope) error {
+	c.sent++
+	return nil
+}
+
+// setupFilterTask initializes a SamzaSQL fastpath filter task exactly as a
+// container would — collector bound in TaskContext before Init — and returns
+// pre-encoded Orders envelopes that fail and pass the predicate.
+func setupFilterTask(tb testing.TB) (*Task, *nullCollector, samza.IncomingMessageEnvelope, samza.IncomingMessageEnvelope) {
+	tb.Helper()
+	cat := catalog.New()
+	if err := workload.DefineCatalog(cat); err != nil {
+		tb.Fatal(err)
+	}
+	zkStore := zk.NewStore()
+	const queryPath = "/samzasql/queries/bench-filter"
+	if err := zkStore.CreateRecursive(queryPath, []byte("SELECT STREAM * FROM Orders WHERE units > 50")); err != nil {
+		tb.Fatal(err)
+	}
+	coll := &nullCollector{}
+	ctx := &samza.TaskContext{
+		Task:      samza.TaskNameFor(0),
+		Partition: 0,
+		Metrics:   metrics.NewRegistry(),
+		Config: map[string]string{
+			"samzasql.zk.query.path": queryPath,
+			"samzasql.output.topic":  "bench-out",
+			"samzasql.fastpath":      "true",
+		},
+		Collector: coll,
+	}
+	task := NewTask(cat, zkStore, true)
+	if err := task.Init(ctx); err != nil {
+		tb.Fatal(err)
+	}
+
+	gen := workload.NewOrdersGen(workload.DefaultOrdersConfig())
+	var miss, hit samza.IncomingMessageEnvelope
+	haveMiss, haveHit := false, false
+	for i := 0; !haveMiss || !haveHit; i++ {
+		if i > 10_000 {
+			tb.Fatal("generator never produced both predicate outcomes")
+		}
+		row, key, value, err := gen.Next()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		env := samza.IncomingMessageEnvelope{
+			Stream: "orders", Partition: 0, Offset: int64(i),
+			Key: key, Value: value, Timestamp: row[0].(int64),
+		}
+		if units := row[3].(int64); units > 50 && !haveHit {
+			hit, haveHit = env, true
+		} else if units <= 50 && !haveMiss {
+			miss, haveMiss = env, true
+		}
+	}
+	return task, coll, miss, hit
+}
+
+// TestFilterProcessZeroAllocs pins the satellite regression: with the sender
+// bound once at Init, processing a filter-query message allocates nothing —
+// neither on the filtered-out path nor when the row is forwarded.
+func TestFilterProcessZeroAllocs(t *testing.T) {
+	task, coll, miss, hit := setupFilterTask(t)
+	for name, env := range map[string]samza.IncomingMessageEnvelope{"miss": miss, "hit": hit} {
+		env := env
+		allocs := testing.AllocsPerRun(1000, func() {
+			if err := task.Process(env, task.bound, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s path: %.1f allocs per message, want 0", name, allocs)
+		}
+	}
+	if coll.sent == 0 {
+		t.Fatal("hit path never reached the collector")
+	}
+}
+
+// BenchmarkFilterMessageProcess measures the full per-message cost of a
+// fastpath filter query through Task.Process, excluding broker I/O.
+func BenchmarkFilterMessageProcess(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		pick func(miss, hit samza.IncomingMessageEnvelope) samza.IncomingMessageEnvelope
+	}{
+		{"filtered-out", func(miss, _ samza.IncomingMessageEnvelope) samza.IncomingMessageEnvelope { return miss }},
+		{"forwarded", func(_, hit samza.IncomingMessageEnvelope) samza.IncomingMessageEnvelope { return hit }},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			task, _, miss, hit := setupFilterTask(b)
+			env := c.pick(miss, hit)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := task.Process(env, task.bound, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

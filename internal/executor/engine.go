@@ -33,6 +33,10 @@ type Engine struct {
 	// Containers is the container count for submitted jobs (clamped to
 	// the partition count by the job planner).
 	Containers int
+	// TaskParallelism bounds concurrent task execution per container
+	// (samza.JobSpec.TaskParallelism): 0 lets every task run in parallel,
+	// 1 reproduces the sequential container loop.
+	TaskParallelism int
 	// Optimize toggles the rule-based optimizer (on by default; the
 	// ablation benches turn it off).
 	Optimize bool
@@ -189,12 +193,13 @@ func (e *Engine) Submit(ctx context.Context, p *Prepared) (*Job, error) {
 		inputs[i] = samza.StreamSpec{Topic: in.Topic, Bootstrap: in.Bootstrap}
 	}
 	job := &samza.JobSpec{
-		Name:        p.JobName,
-		Inputs:      inputs,
-		Containers:  e.Containers,
-		Stores:      p.Program.Stores,
-		CommitEvery: 1000,
-		MaxRestarts: 2,
+		Name:            p.JobName,
+		Inputs:          inputs,
+		Containers:      e.Containers,
+		TaskParallelism: e.TaskParallelism,
+		Stores:          p.Program.Stores,
+		CommitEvery:     1000,
+		MaxRestarts:     2,
 		Config: map[string]string{
 			"samzasql.zk.query.path": zkQueryPath(p.JobName),
 			"samzasql.output.topic":  p.OutputTopic,

@@ -66,11 +66,12 @@ func (r *repartitionJobs) ensure(ctx context.Context, e *Engine, spec *physical.
 		return nil, err
 	}
 	job := &samza.JobSpec{
-		Name:        "repartition-" + spec.TargetTopic,
-		Inputs:      []samza.StreamSpec{{Topic: spec.SourceTopic}},
-		Containers:  e.Containers,
-		CommitEvery: 1000,
-		MaxRestarts: 2,
+		Name:            "repartition-" + spec.TargetTopic,
+		Inputs:          []samza.StreamSpec{{Topic: spec.SourceTopic}},
+		Containers:      e.Containers,
+		TaskParallelism: e.TaskParallelism,
+		CommitEvery:     1000,
+		MaxRestarts:     2,
 		Config:      map[string]string{},
 		TaskFactory: func() samza.StreamTask {
 			return &RepartitionTask{Spec: spec}

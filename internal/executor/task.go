@@ -25,6 +25,12 @@ type Task struct {
 
 	program *physical.Program
 	ctx     *samza.TaskContext
+	// bound is the collector the program's sender currently targets. The
+	// framework passes the same collector to every Process call (it is
+	// bound in TaskContext before Init), so after Init the per-message path
+	// never rebuilds the sender closure — and since each task owns its own
+	// Program, routing stays goroutine-confined under task parallelism.
+	bound samza.MessageCollector
 }
 
 // NewTask builds an uninitialized SamzaSQL task.
@@ -64,6 +70,9 @@ func (t *Task) Init(ctx *samza.TaskContext) error {
 		return err
 	}
 	t.program = prog
+	if ctx.Collector != nil {
+		t.bindSender(ctx.Collector)
+	}
 	return prog.Router.Open(&operators.OpContext{
 		Store:     ctx.Store,
 		Partition: ctx.Partition,
@@ -71,8 +80,11 @@ func (t *Task) Init(ctx *samza.TaskContext) error {
 	})
 }
 
-// Process implements samza.StreamTask: decode, route, emit.
-func (t *Task) Process(env samza.IncomingMessageEnvelope, collector samza.MessageCollector, _ samza.Coordinator) error {
+// bindSender points the program's output sink at collector. Called once per
+// task in the common case; Process rebinds only if a caller hands it a
+// different collector (direct drivers in tests do).
+func (t *Task) bindSender(collector samza.MessageCollector) {
+	t.bound = collector
 	t.program.SetSender(func(stream string, partition int32, key, value []byte, ts int64) error {
 		return collector.Send(samza.OutgoingMessageEnvelope{
 			Stream:    stream,
@@ -82,5 +94,12 @@ func (t *Task) Process(env samza.IncomingMessageEnvelope, collector samza.Messag
 			Timestamp: ts,
 		})
 	})
+}
+
+// Process implements samza.StreamTask: decode, route, emit.
+func (t *Task) Process(env samza.IncomingMessageEnvelope, collector samza.MessageCollector, _ samza.Coordinator) error {
+	if collector != t.bound {
+		t.bindSender(collector)
+	}
 	return t.program.RouteMessage(env.Stream, env.Value, env.Key, env.Timestamp, env.Partition, env.Offset)
 }

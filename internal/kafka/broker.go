@@ -182,6 +182,28 @@ func (b *Broker) Fetch(tp TopicPartition, offset int64, max int) ([]Message, <-c
 	return p.fetch(offset, max)
 }
 
+// Subscribe registers a persistent notification channel with tp: every
+// append signals it with a coalesced, non-blocking send. Consumers use one
+// buffered channel across their whole assignment so a caught-up poll parks
+// on a single channel instead of spawning per-partition wait goroutines.
+func (b *Broker) Subscribe(tp TopicPartition, ch chan struct{}) error {
+	p, err := b.partition(tp)
+	if err != nil {
+		return err
+	}
+	p.subscribe(ch)
+	return nil
+}
+
+// Unsubscribe removes a channel registered with Subscribe.
+func (b *Broker) Unsubscribe(tp TopicPartition, ch chan struct{}) {
+	p, err := b.partition(tp)
+	if err != nil {
+		return // topic deleted; nothing to detach from
+	}
+	p.unsubscribe(ch)
+}
+
 // HighWatermark returns the next offset that will be assigned in tp.
 func (b *Broker) HighWatermark(tp TopicPartition) (int64, error) {
 	p, err := b.partition(tp)

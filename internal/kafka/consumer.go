@@ -7,18 +7,32 @@ import (
 )
 
 // Consumer reads a fixed assignment of partitions, tracking a position per
-// partition. It supports blocking polls (via the broker's append-wait
-// channels), committed-offset resume, and seek-to-beginning replay — the
+// partition. It supports blocking polls (via a persistent per-consumer
+// notifier), committed-offset resume, and seek-to-beginning replay — the
 // capabilities Samza task runners need.
+//
+// A Consumer is safe for concurrent use, but Poll is designed for a single
+// polling goroutine (the Samza task loop); Assign/Seek/Position may be
+// called from others.
 type Consumer struct {
 	broker *Broker
 	group  string
 
+	// notify is the consumer's persistent wakeup channel: every assigned
+	// partition signals it (coalesced, non-blocking) on append. Poll blocks
+	// on it when the assignment is caught up, so idle polls park one
+	// goroutine on one channel instead of spawning a goroutine per
+	// partition per wait.
+	notify chan struct{}
+
 	mu        sync.Mutex
 	positions map[TopicPartition]int64
-	// rr orders partitions for round-robin polling fairness.
-	rr   []TopicPartition
-	next int
+	// rr orders partitions for round-robin polling fairness. It doubles as
+	// the cached assignment snapshot: it is rebuilt only by Assign, and
+	// pollOnce iterates it under a single lock acquisition without copying.
+	rr     []TopicPartition
+	next   int
+	closed bool
 }
 
 // NewConsumer creates a consumer for group. Group may be empty for an
@@ -27,12 +41,15 @@ func NewConsumer(b *Broker, group string) *Consumer {
 	return &Consumer{
 		broker:    b,
 		group:     group,
+		notify:    make(chan struct{}, 1),
 		positions: make(map[TopicPartition]int64),
 	}
 }
 
 // Assign adds tp to the consumer's assignment, resuming from the group's
-// committed offset if one exists, else from the oldest retained offset.
+// committed offset if one exists, else from the oldest retained offset. It
+// subscribes the consumer's notifier to the partition and invalidates the
+// cached poll snapshot.
 func (c *Consumer) Assign(tp TopicPartition) error {
 	start, ok := c.broker.CommittedOffset(c.group, tp)
 	if !ok {
@@ -41,6 +58,9 @@ func (c *Consumer) Assign(tp TopicPartition) error {
 		if err != nil {
 			return err
 		}
+	}
+	if err := c.broker.Subscribe(tp, c.notify); err != nil {
+		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -55,6 +75,23 @@ func (c *Consumer) Assign(tp TopicPartition) error {
 	}
 	c.positions[tp] = start
 	return nil
+}
+
+// Close detaches the consumer's notifier from every assigned partition.
+// Poll must not be called after Close.
+func (c *Consumer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	rr := make([]TopicPartition, len(c.rr))
+	copy(rr, c.rr)
+	c.mu.Unlock()
+	for _, tp := range rr {
+		c.broker.Unsubscribe(tp, c.notify)
+	}
 }
 
 // Seek moves the consumer's position on tp. The partition must be assigned.
@@ -95,92 +132,57 @@ func (c *Consumer) Assignment() []TopicPartition {
 
 // Poll fetches up to max messages, cycling over assigned partitions for
 // fairness. If every partition is caught up it blocks until new data arrives
-// on any of them or ctx is done. A nil slice with nil error means ctx ended.
+// on any of them or ctx is done. A nil slice with nil error means the
+// consumer has no assignment.
 func (c *Consumer) Poll(ctx context.Context, max int) ([]Message, error) {
 	for {
-		msgs, waits, err := c.pollOnce(max)
+		msgs, assigned, err := c.pollOnce(max)
 		if err != nil {
 			return nil, err
 		}
 		if len(msgs) > 0 {
 			return msgs, nil
 		}
-		if len(waits) == 0 {
-			return nil, nil // no assignment
+		if !assigned {
+			return nil, nil
 		}
-		if !waitAny(ctx, waits) {
+		// Caught up on every partition: park on the persistent notifier.
+		// An append racing the fetches above has already queued a token
+		// (partitions signal after assigning the offset), so the wakeup
+		// cannot be lost; a stale token merely costs one re-poll.
+		select {
+		case <-c.notify:
+		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
 }
 
 // pollOnce tries each assigned partition once, starting after the last
-// partition that produced data. It returns either messages or the wait
-// channels of all caught-up partitions.
-func (c *Consumer) pollOnce(max int) ([]Message, []<-chan struct{}, error) {
+// partition that produced data. The whole pass runs under one lock
+// acquisition: broker fetches never block and never call back into the
+// consumer, and holding the lock lets the pass read rr (the assignment
+// snapshot) and positions in place instead of copying them per call.
+func (c *Consumer) pollOnce(max int) (msgs []Message, assigned bool, err error) {
 	c.mu.Lock()
-	rr := make([]TopicPartition, len(c.rr))
-	copy(rr, c.rr)
+	defer c.mu.Unlock()
+	if len(c.rr) == 0 {
+		return nil, false, nil
+	}
 	start := c.next
-	c.mu.Unlock()
-
-	var waits []<-chan struct{}
-	for i := 0; i < len(rr); i++ {
-		tp := rr[(start+i)%len(rr)]
-		c.mu.Lock()
-		pos := c.positions[tp]
-		c.mu.Unlock()
-
-		msgs, wait, err := c.broker.Fetch(tp, pos, max)
+	for i := 0; i < len(c.rr); i++ {
+		tp := c.rr[(start+i)%len(c.rr)]
+		msgs, _, err := c.broker.Fetch(tp, c.positions[tp], max)
 		if err != nil {
-			return nil, nil, err
+			return nil, true, err
 		}
 		if len(msgs) > 0 {
-			c.mu.Lock()
 			c.positions[tp] = msgs[len(msgs)-1].Offset + 1
-			c.next = (start + i + 1) % len(rr)
-			c.mu.Unlock()
-			return msgs, nil, nil
-		}
-		if wait != nil {
-			waits = append(waits, wait)
+			c.next = (start + i + 1) % len(c.rr)
+			return msgs, true, nil
 		}
 	}
-	return nil, waits, nil
-}
-
-// waitAny blocks until any channel closes or ctx is done; true means a
-// channel fired.
-func waitAny(ctx context.Context, chans []<-chan struct{}) bool {
-	if len(chans) == 1 {
-		select {
-		case <-chans[0]:
-			return true
-		case <-ctx.Done():
-			return false
-		}
-	}
-	fired := make(chan struct{}, 1)
-	stop := make(chan struct{})
-	defer close(stop)
-	for _, ch := range chans {
-		go func(ch <-chan struct{}) {
-			select {
-			case <-ch:
-				select {
-				case fired <- struct{}{}:
-				default:
-				}
-			case <-stop:
-			}
-		}(ch)
-	}
-	select {
-	case <-fired:
-		return true
-	case <-ctx.Done():
-		return false
-	}
+	return nil, true, nil
 }
 
 // Commit records the current position of every assigned partition under the

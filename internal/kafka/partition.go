@@ -27,6 +27,12 @@ type partition struct {
 	// fetches without polling.
 	waiters []chan struct{}
 
+	// subs are persistent subscriber channels signalled (coalesced,
+	// non-blocking) on every append. Consumers register one channel for
+	// their whole assignment so idle polls park instead of respawning
+	// wait goroutines.
+	subs []chan struct{}
+
 	maxSegmentBytes int
 	retentionBytes  int // <= 0 means unbounded
 	compacted       bool
@@ -66,13 +72,53 @@ func (p *partition) append(m Message) int64 {
 
 	waiters := p.waiters
 	p.waiters = nil
+	subs := p.subs
 	p.applyRetentionLocked()
 	p.mu.Unlock()
 
 	for _, w := range waiters {
 		close(w)
 	}
+	// Signal persistent subscribers without blocking: a full buffer means a
+	// wakeup is already pending, which is all the subscriber needs.
+	for _, s := range subs {
+		select {
+		case s <- struct{}{}:
+		default:
+		}
+	}
 	return offset
+}
+
+// subscribe registers a persistent notification channel signalled on every
+// append. The channel should be buffered; signals are coalesced. The subs
+// slice is copy-on-write because append() signals a snapshot of it outside
+// the partition lock.
+func (p *partition) subscribe(ch chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.subs {
+		if s == ch {
+			return
+		}
+	}
+	next := make([]chan struct{}, 0, len(p.subs)+1)
+	next = append(next, p.subs...)
+	p.subs = append(next, ch)
+}
+
+// unsubscribe removes a channel registered with subscribe.
+func (p *partition) unsubscribe(ch chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, s := range p.subs {
+		if s == ch {
+			next := make([]chan struct{}, 0, len(p.subs)-1)
+			next = append(next, p.subs[:i]...)
+			p.subs = append(next, p.subs[i+1:]...)
+			return
+		}
+	}
 }
 
 // applyRetentionLocked drops head segments while total size exceeds the

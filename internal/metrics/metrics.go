@@ -35,9 +35,12 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 // Value returns the stored value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// Registry groups named metrics for one container or task.
+// Registry groups named metrics for one container or task. It is safe for
+// concurrent use by every task goroutine in a container: lookups of
+// existing metrics take only a read lock, so hot paths that have not
+// hoisted their counters contend only on the atomics inside them.
 type Registry struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 }
@@ -52,10 +55,15 @@ func NewRegistry() *Registry {
 
 // Counter returns the named counter, creating it if needed.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
-	if !ok {
+	if c, ok = r.counters[name]; !ok {
 		c = &Counter{}
 		r.counters[name] = c
 	}
@@ -64,10 +72,15 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns the named gauge, creating it if needed.
 func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
-	if !ok {
+	if g, ok = r.gauges[name]; !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -77,8 +90,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 // Snapshot returns all metric values keyed by name, counters and gauges
 // merged, in a fresh map.
 func (r *Registry) Snapshot() map[string]int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make(map[string]int64, len(r.counters)+len(r.gauges))
 	for n, c := range r.counters {
 		out[n] = c.Value()
@@ -91,8 +104,8 @@ func (r *Registry) Snapshot() map[string]int64 {
 
 // Names returns the sorted names of all registered metrics.
 func (r *Registry) Names() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]string, 0, len(r.counters)+len(r.gauges))
 	for n := range r.counters {
 		out = append(out, n)

@@ -35,8 +35,12 @@ func (e *IncomingMessageEnvelope) TP() kafka.TopicPartition {
 type OutgoingMessageEnvelope struct {
 	// Stream is the destination topic.
 	Stream string
-	// Partition selects an explicit partition; negative means partition by
-	// Key (or partition 0 for empty keys).
+	// Partition selects the destination partition. A non-negative value
+	// names an explicit partition and is passed to the broker unchanged;
+	// any negative value delegates partitioning to the broker, which
+	// FNV-hashes Key over the topic's partitions (empty keys land on
+	// partition 0). The collector never rewrites this field — the sign is
+	// the whole contract.
 	Partition int32
 	Key       []byte
 	Value     []byte
@@ -60,7 +64,9 @@ type Coordinator interface {
 
 // StreamTask is the processing interface for one partition's worth of
 // messages, analogous to Samza's StreamTask. Implementations need not be
-// safe for concurrent use: the framework serializes calls per task.
+// safe for concurrent use: the framework serializes calls per task
+// instance. Distinct instances run concurrently (one goroutine per task),
+// so state a TaskFactory shares across instances must be synchronized.
 type StreamTask interface {
 	// Init is called once before any message is delivered, after local
 	// state has been restored from changelogs.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"samzasql/internal/kafka"
@@ -24,6 +25,11 @@ type TaskContext struct {
 	Metrics *metrics.Registry
 	// Config aliases the job's Config map.
 	Config map[string]string
+	// Collector sends messages to output streams. The framework binds it
+	// once per task before Init and passes the same value to every Process
+	// call, so tasks may capture it at Init and build per-task senders
+	// instead of rebinding per message.
+	Collector MessageCollector
 
 	stores map[string]kv.Store
 }
@@ -39,21 +45,20 @@ func (c *TaskContext) Store(name string) kv.Store {
 	return s
 }
 
-// collector implements MessageCollector over the broker.
+// collector implements MessageCollector over the broker. It is stateless
+// apart from the atomic sent counter, so one instance is safely shared by
+// every task goroutine in the container.
 type collector struct {
 	broker *kafka.Broker
 	sent   *metrics.Counter
 }
 
 func (c *collector) Send(env OutgoingMessageEnvelope) error {
-	part := env.Partition
-	if part >= 0 {
-		// explicit partition
-	} else {
-		part = -1 // broker partitions by key
-	}
+	// env.Partition passes through unchanged: non-negative selects that
+	// partition explicitly, negative delegates to the broker's key hash
+	// (see OutgoingMessageEnvelope.Partition).
 	_, err := c.broker.Produce(env.Stream, kafka.Message{
-		Partition: part,
+		Partition: env.Partition,
 		Key:       env.Key,
 		Value:     env.Value,
 		Timestamp: env.Timestamp,
@@ -64,7 +69,9 @@ func (c *collector) Send(env OutgoingMessageEnvelope) error {
 	return err
 }
 
-// coordinatorState implements Coordinator.
+// coordinatorState implements Coordinator. Each task loop reuses one
+// instance across messages, resetting it per delivery, so the hot path
+// performs no per-message allocation for coordinator plumbing.
 type coordinatorState struct {
 	commitRequested   bool
 	shutdownRequested bool
@@ -73,7 +80,15 @@ type coordinatorState struct {
 func (c *coordinatorState) Commit()   { c.commitRequested = true }
 func (c *coordinatorState) Shutdown() { c.shutdownRequested = true }
 
-// taskInstance is one running task inside a container.
+func (c *coordinatorState) reset() {
+	c.commitRequested = false
+	c.shutdownRequested = false
+}
+
+// taskInstance is one running task inside a container. All of its mutable
+// state is owned by the single goroutine running its loop; tasks own
+// disjoint partitions and disjoint stores, which is what makes the
+// container's task-level parallelism safe under Samza's semantics.
 type taskInstance struct {
 	name      TaskName
 	partition int32
@@ -83,6 +98,9 @@ type taskInstance struct {
 	changelog []*kv.ChangelogStore
 	processed int // messages since last commit
 	sinceWin  int // messages since last window fire
+	// coord is the per-loop Coordinator handed to Process, reset per
+	// message instead of allocated per message.
+	coord coordinatorState
 	// delivered holds, per input topic, the offset after the last message
 	// the task finished processing. Checkpoints are written from here, not
 	// from the consumer position: the consumer advances a whole fetched
@@ -92,7 +110,9 @@ type taskInstance struct {
 }
 
 // Container runs a set of tasks against the broker, mirroring a Samza
-// container: restore state, bootstrap, then the poll-process-commit loop.
+// container: restore state, bootstrap, then one poll-process-window-commit
+// loop per task, each in a dedicated goroutine under an errgroup-style
+// supervisor.
 type Container struct {
 	ID      int
 	job     *JobSpec
@@ -100,7 +120,22 @@ type Container struct {
 	cpm     *CheckpointManager
 	tasks   []*taskInstance
 	Metrics *metrics.Registry
+
+	// coll is the shared broker-backed collector (safe for concurrent use).
+	coll *collector
+	// sem, when non-nil, bounds how many tasks process batches at once
+	// (JobSpec.TaskParallelism).
+	sem chan struct{}
+	// processed and commits are hoisted counters so the per-message path
+	// never takes the registry lock.
+	processed *metrics.Counter
+	commits   *metrics.Counter
 }
+
+// errStopRequested signals an orderly whole-container stop requested by a
+// task's Coordinator.Shutdown; the supervisor translates it into
+// cancellation of the sibling tasks rather than a failure.
+var errStopRequested = errors.New("samza: task requested shutdown")
 
 // newContainer builds (but does not run) a container for the given task
 // partition list.
@@ -111,6 +146,12 @@ func newContainer(id int, job *JobSpec, broker *kafka.Broker, cpm *CheckpointMan
 		broker:  broker,
 		cpm:     cpm,
 		Metrics: metrics.NewRegistry(),
+	}
+	c.coll = &collector{broker: broker, sent: c.Metrics.Counter("messages-sent")}
+	c.processed = c.Metrics.Counter("messages-processed")
+	c.commits = c.Metrics.Counter("commits")
+	if n := job.TaskParallelism; n > 0 && n < len(partitions) {
+		c.sem = make(chan struct{}, n)
 	}
 	for _, p := range partitions {
 		ti, err := c.buildTask(p, inputPartitions)
@@ -145,6 +186,7 @@ func (c *Container) buildTask(partition, inputPartitions int32) (*taskInstance, 
 		Partition: partition,
 		Metrics:   c.Metrics,
 		Config:    c.job.Config,
+		Collector: c.coll,
 		stores:    stores,
 	}
 	consumer := kafka.NewConsumer(c.broker, c.job.Name)
@@ -161,7 +203,8 @@ func (c *Container) buildTask(partition, inputPartitions int32) (*taskInstance, 
 
 // Run executes the container until ctx is cancelled, a task requests
 // shutdown, or a task returns an error. The returned error is nil on orderly
-// shutdown (including context cancellation).
+// shutdown (including context cancellation); on a task failure the first
+// error is returned after every sibling task has been cancelled and drained.
 func (c *Container) Run(ctx context.Context) error {
 	// Phase 1: restore local state from changelogs (§4.3).
 	for _, ti := range c.tasks {
@@ -198,55 +241,67 @@ func (c *Container) Run(ctx context.Context) error {
 			return fmt.Errorf("samza: %s init: %w", ti.name, err)
 		}
 	}
-	// Phase 4: drain bootstrap streams to their current high watermark
-	// before any other input is delivered (§2 "Bootstrap Streams").
-	coll := &collector{broker: c.broker, sent: c.Metrics.Counter("messages-sent")}
+	// Phases 4+5 run per task in a dedicated goroutine: drain bootstrap
+	// streams (§2 "Bootstrap Streams"), then the poll-process loop. The
+	// supervisor cancels every sibling on the first failure or on a
+	// coordinator shutdown and propagates the first real error.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
 	for _, ti := range c.tasks {
-		if err := c.bootstrap(ctx, ti, coll); err != nil {
+		wg.Add(1)
+		go func(ti *taskInstance) {
+			defer wg.Done()
+			err := c.runTask(runCtx, ti)
+			if err == nil {
+				return
+			}
+			if errors.Is(err, errStopRequested) {
+				cancel()
+				return
+			}
+			errOnce.Do(func() { firstErr = err })
+			cancel()
+		}(ti)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// runTask is one task's whole life inside a running container: bootstrap,
+// then poll batches until the context ends, an error occurs, or the task
+// requests shutdown. On orderly exits the task writes a final checkpoint and
+// closes; after a processing error it does not, preserving the replay
+// window for the restarted attempt.
+func (c *Container) runTask(ctx context.Context, ti *taskInstance) error {
+	defer ti.consumer.Close()
+	if err := c.bootstrap(ctx, ti); err != nil {
+		return err
+	}
+	for {
+		if ctx.Err() != nil {
+			return c.finishTask(ti)
+		}
+		stop, err := c.pollTask(ctx, ti)
+		if err != nil {
 			return err
 		}
-	}
-	// Phase 5: main poll-process loop.
-	processed := c.Metrics.Counter("messages-processed")
-	for {
-		// One consumer per task: poll each task round-robin. Poll blocks
-		// only when every partition of that task is caught up, so iterate
-		// with a short non-blocking pass first.
-		anyDelivered := false
-		for _, ti := range c.tasks {
-			delivered, stop, err := c.pollTask(ctx, ti, coll, processed, false)
-			if err != nil {
+		if stop {
+			if err := c.finishTask(ti); err != nil {
 				return err
 			}
-			if stop {
-				return c.shutdown()
-			}
-			anyDelivered = anyDelivered || delivered
-		}
-		if !anyDelivered {
-			// Everything is caught up. Block briefly on the first task;
-			// the timeout bounds wake-up latency for the other tasks'
-			// partitions, which are re-checked on the next non-blocking
-			// pass.
-			waitCtx, cancel := context.WithTimeout(ctx, idleWait)
-			_, stop, err := c.pollTask(waitCtx, c.tasks[0], coll, processed, true)
-			cancel()
-			if err != nil {
-				return err
-			}
-			if stop {
-				return c.shutdown()
-			}
-		}
-		if ctx.Err() != nil {
-			return c.shutdown()
+			return errStopRequested
 		}
 	}
 }
 
 // bootstrap consumes each bootstrap stream partition from the consumer's
 // current position to the high watermark observed at start.
-func (c *Container) bootstrap(ctx context.Context, ti *taskInstance, coll MessageCollector) error {
+func (c *Container) bootstrap(ctx context.Context, ti *taskInstance) error {
 	for _, in := range c.job.Inputs {
 		if !in.Bootstrap {
 			continue
@@ -265,16 +320,17 @@ func (c *Container) bootstrap(ctx context.Context, ti *taskInstance, coll Messag
 			if wait != nil {
 				break
 			}
+			env := IncomingMessageEnvelope{}
 			for _, m := range msgs {
 				if m.Offset >= hwm {
 					break
 				}
-				env := IncomingMessageEnvelope{
+				env = IncomingMessageEnvelope{
 					Stream: m.Topic, Partition: m.Partition, Offset: m.Offset,
 					Key: m.Key, Value: m.Value, Timestamp: m.Timestamp,
 				}
-				coord := &coordinatorState{}
-				if err := ti.task.Process(env, coll, coord); err != nil {
+				ti.coord.reset()
+				if err := ti.task.Process(env, c.coll, &ti.coord); err != nil {
 					return fmt.Errorf("samza: %s bootstrap process: %w", ti.name, err)
 				}
 				pos = m.Offset + 1
@@ -289,67 +345,78 @@ func (c *Container) bootstrap(ctx context.Context, ti *taskInstance, coll Messag
 	return nil
 }
 
-// idleWait bounds how long a fully caught-up container blocks before
-// re-scanning all of its tasks' partitions.
+// idleWait bounds how long a task with no assignment sleeps between polls;
+// assigned tasks block on the consumer's notifier instead.
 const idleWait = 10 * time.Millisecond
 
-// pollTask delivers one batch to the task. Returns (delivered, stop, err).
-func (c *Container) pollTask(ctx context.Context, ti *taskInstance, coll MessageCollector, processed *metrics.Counter, blocking bool) (bool, bool, error) {
-	pollCtx := ctx
-	if !blocking {
-		// Non-blocking pass: poll with an already-cancelled child context
-		// trick is wrong; instead check lag first.
-		lag, err := ti.consumer.Lag()
-		if err != nil {
-			return false, false, err
-		}
-		if lag == 0 {
-			return false, false, nil
-		}
-	}
-	msgs, err := ti.consumer.Poll(pollCtx, 256)
+// pollBatch is the per-poll message cap.
+const pollBatch = 256
+
+// pollTask delivers one batch to the task. Returns stop=true when the task
+// requested shutdown.
+func (c *Container) pollTask(ctx context.Context, ti *taskInstance) (bool, error) {
+	msgs, err := ti.consumer.Poll(ctx, pollBatch)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return false, false, nil
+			return false, nil
 		}
-		return false, false, fmt.Errorf("samza: %s poll: %w", ti.name, err)
+		return false, fmt.Errorf("samza: %s poll: %w", ti.name, err)
 	}
 	if len(msgs) == 0 {
-		return false, false, nil
+		// No assignment: nothing will ever arrive; avoid a hot spin.
+		select {
+		case <-ctx.Done():
+		case <-time.After(idleWait):
+		}
+		return false, nil
 	}
-	for _, m := range msgs {
-		env := IncomingMessageEnvelope{
+	// TaskParallelism gates processing, not polling: a parked poll holds no
+	// slot, so N slots bound the tasks concurrently burning CPU.
+	if c.sem != nil {
+		select {
+		case c.sem <- struct{}{}:
+		case <-ctx.Done():
+			return false, nil
+		}
+		defer func() { <-c.sem }()
+	}
+	// env and ti.coord are reused across the batch; Process receives the
+	// envelope by value, so reuse is invisible to the task.
+	env := IncomingMessageEnvelope{}
+	for i := range msgs {
+		m := &msgs[i]
+		env = IncomingMessageEnvelope{
 			Stream: m.Topic, Partition: m.Partition, Offset: m.Offset,
 			Key: m.Key, Value: m.Value, Timestamp: m.Timestamp,
 		}
-		coord := &coordinatorState{}
-		if err := ti.task.Process(env, coll, coord); err != nil {
-			return true, false, fmt.Errorf("samza: %s process: %w", ti.name, err)
+		ti.coord.reset()
+		if err := ti.task.Process(env, c.coll, &ti.coord); err != nil {
+			return false, fmt.Errorf("samza: %s process: %w", ti.name, err)
 		}
 		ti.delivered[env.Stream] = env.Offset + 1
-		processed.Inc()
+		c.processed.Inc()
 		ti.processed++
 		ti.sinceWin++
 
 		if wt, ok := ti.task.(WindowableTask); ok && c.job.WindowEvery > 0 && ti.sinceWin >= c.job.WindowEvery {
-			if err := wt.Window(coll, coord); err != nil {
-				return true, false, fmt.Errorf("samza: %s window: %w", ti.name, err)
+			if err := wt.Window(c.coll, &ti.coord); err != nil {
+				return false, fmt.Errorf("samza: %s window: %w", ti.name, err)
 			}
 			ti.sinceWin = 0
 		}
-		needCommit := coord.commitRequested ||
+		needCommit := ti.coord.commitRequested ||
 			(c.job.CommitEvery > 0 && ti.processed >= c.job.CommitEvery)
 		if needCommit {
 			if err := c.commitTask(ti); err != nil {
-				return true, false, err
+				return false, err
 			}
 			ti.processed = 0
 		}
-		if coord.shutdownRequested {
-			return true, true, nil
+		if ti.coord.shutdownRequested {
+			return true, nil
 		}
 	}
-	return true, false, nil
+	return false, nil
 }
 
 // commitTask writes the task's current consumer positions as a checkpoint.
@@ -361,22 +428,17 @@ func (c *Container) commitTask(ti *taskInstance) error {
 	if err := c.cpm.Write(cp); err != nil {
 		return fmt.Errorf("samza: %s checkpoint write: %w", ti.name, err)
 	}
-	c.Metrics.Counter("commits").Inc()
+	c.commits.Inc()
 	return nil
 }
 
-// shutdown commits all tasks and closes closable ones.
-func (c *Container) shutdown() error {
-	var firstErr error
-	for _, ti := range c.tasks {
-		if err := c.commitTask(ti); err != nil && firstErr == nil {
-			firstErr = err
-		}
-		if ct, ok := ti.task.(ClosableTask); ok {
-			if err := ct.Close(); err != nil && firstErr == nil {
-				firstErr = err
-			}
+// finishTask commits the task's final checkpoint and closes it.
+func (c *Container) finishTask(ti *taskInstance) error {
+	err := c.commitTask(ti)
+	if ct, ok := ti.task.(ClosableTask); ok {
+		if cerr := ct.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
 	}
-	return firstErr
+	return err
 }

@@ -51,6 +51,14 @@ type JobSpec struct {
 	WindowEvery int
 	// MaxRestarts bounds per-container restarts after failures.
 	MaxRestarts int
+	// TaskParallelism bounds how many of a container's tasks may process
+	// message batches concurrently (Samza's job.container.thread.pool.size
+	// analog). 0 (the default) means unbounded: every task runs its loop
+	// fully in parallel. 1 reproduces the sequential container of the
+	// paper's prototype. Values above the container's task count behave
+	// like 0. Tasks own disjoint partitions and disjoint state, so any
+	// setting preserves per-task ordering.
+	TaskParallelism int
 	// Config carries arbitrary job configuration strings.
 	Config map[string]string
 }
@@ -65,6 +73,9 @@ func (j *JobSpec) Validate() error {
 	}
 	if j.TaskFactory == nil {
 		return fmt.Errorf("samza: job %q has no task factory", j.Name)
+	}
+	if j.TaskParallelism < 0 {
+		return fmt.Errorf("samza: job %q has negative task parallelism %d", j.Name, j.TaskParallelism)
 	}
 	seen := map[string]bool{}
 	for _, in := range j.Inputs {
