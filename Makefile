@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-figures
+.PHONY: build test vet race verify bench bench-figures profile
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,20 @@ bench:
 # Full paper-figure regeneration (slow; see also cmd/samzasql-bench).
 bench-figures:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+PROFILE_ADDR ?= 127.0.0.1:8642
+
+# CPU-profile a live benchmark through the introspection server: start a
+# long filter-figure run with -metrics-addr, pull /debug/pprof/profile for
+# 5 seconds, write cpu.pprof, then stop the run. Inspect with
+# `go tool pprof cpu.pprof`.
+profile:
+	$(GO) build -o /tmp/samzasql-bench ./cmd/samzasql-bench
+	/tmp/samzasql-bench -figure 5a -containers 1 -messages 2000000 \
+		-metrics-addr $(PROFILE_ADDR) -metrics-interval 500ms & pid=$$!; \
+	for i in 1 2 3 4 5 6 7 8 9 10; do \
+		sleep 1; curl -fsS -o /dev/null "http://$(PROFILE_ADDR)/healthz" && break; \
+	done; \
+	curl -fsS -o cpu.pprof "http://$(PROFILE_ADDR)/debug/pprof/profile?seconds=5"; rc=$$?; \
+	kill $$pid 2>/dev/null || true; wait $$pid 2>/dev/null || true; \
+	if [ $$rc -eq 0 ]; then echo "wrote cpu.pprof"; ls -l cpu.pprof; else exit $$rc; fi

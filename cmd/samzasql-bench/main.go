@@ -27,6 +27,8 @@ func main() {
 		containers = flag.String("containers", "", "comma-separated container counts (default: per-figure sweep)")
 		taskPar    = flag.Int("task-parallelism", 0, "max tasks processing concurrently per container (0 = all tasks parallel, 1 = sequential container loop); sweep at fixed -containers to measure tasks-per-core scaling")
 		check      = flag.Bool("check", false, "verify the measured shape matches the paper and exit non-zero otherwise")
+		mAddr      = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address during runs (e.g. 127.0.0.1:8642)")
+		mInterval  = flag.Duration("metrics-interval", 0, "enable the per-container metrics snapshot reporter at this period (e.g. 500ms) and print per-operator latency tables")
 	)
 	flag.Parse()
 
@@ -38,6 +40,8 @@ func main() {
 		fatalf("bad -task-parallelism value %d", *taskPar)
 	}
 	cfg.TaskParallelism = *taskPar
+	cfg.MetricsAddr = *mAddr
+	cfg.MetricsInterval = *mInterval
 
 	var sweep []int
 	if *containers != "" {
@@ -60,6 +64,11 @@ func main() {
 			fatalf("figure %s: %v", spec.ID, err)
 		}
 		fmt.Println(bench.FormatFigure(spec, rows))
+		if *mInterval > 0 {
+			if tbl := bench.FormatOperatorLatencies(spec, rows); tbl != "" {
+				fmt.Println(tbl)
+			}
+		}
 		if *check {
 			for _, v := range bench.CheckShape(spec, rows) {
 				fmt.Fprintf(os.Stderr, "SHAPE MISMATCH (figure %s): %s\n", spec.ID, v)

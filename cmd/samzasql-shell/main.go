@@ -90,7 +90,7 @@ func repl(engine *executor.Engine, streamRows int) {
 		}
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
-		if buf.Len() == 0 && strings.HasPrefix(trimmed, "!") {
+		if buf.Len() == 0 && (strings.HasPrefix(trimmed, "!") || strings.HasPrefix(trimmed, `\`)) {
 			if !command(engine, trimmed) {
 				return
 			}
@@ -124,15 +124,33 @@ func command(engine *executor.Engine, cmd string) bool {
 			}
 			fmt.Printf("  %-24s %-7s %s\n", name, obj.Kind, describe(obj))
 		}
+	case `\metrics`, "!metrics":
+		printMetrics(engine)
 	case "!help":
 		fmt.Println(`  <statement>;           run a SQL statement (SELECT [STREAM], CREATE VIEW, INSERT INTO)
   EXPLAIN <query>;       print the optimized plan
   !tables                list catalog objects
+  \metrics               dump metrics of every submitted job (counters, gauges, latency histograms)
   !quit                  leave the shell`)
 	default:
 		fmt.Printf("unknown command %s (try !help)\n", cmd)
 	}
 	return true
+}
+
+// printMetrics dumps every submitted job's merged registry in the text
+// format of the /metrics endpoint, with consumer-lag gauges refreshed.
+func printMetrics(engine *executor.Engine) {
+	jobs := engine.Runner.Jobs()
+	if len(jobs) == 0 {
+		fmt.Println("no jobs submitted yet")
+		return
+	}
+	for _, j := range jobs {
+		j.UpdateLags()
+		fmt.Printf("# job %s\n", j.Spec.Name)
+		j.MetricsSnapshot().WriteText(os.Stdout)
+	}
 }
 
 func describe(obj *catalog.Object) string {

@@ -2,7 +2,10 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+
+	"samzasql/internal/metrics"
 )
 
 // FigureRow is one (container count) point of a figure: native and
@@ -12,6 +15,9 @@ type FigureRow struct {
 	Native     float64 // msgs/sec
 	SQL        float64 // msgs/sec
 	Ratio      float64 // SQL / native
+	// SQLSnap is the SamzaSQL run's merged end-of-run metrics, carrying the
+	// per-operator latency histograms FormatOperatorLatencies renders.
+	SQLSnap metrics.Snapshot
 }
 
 // FigureSpec maps a paper figure to its benchmark query and sweep.
@@ -79,6 +85,7 @@ func RunFigure(spec FigureSpec, cfg Config) ([]FigureRow, error) {
 			Native:     nat.Throughput,
 			SQL:        sql.Throughput,
 			Ratio:      sql.Throughput / nat.Throughput,
+			SQLSnap:    sql.Snapshot,
 		})
 	}
 	return rows, nil
@@ -92,6 +99,43 @@ func FormatFigure(spec FigureSpec, rows []FigureRow) string {
 	fmt.Fprintf(&sb, "  %-10s  %14s  %14s  %9s\n", "containers", "native msg/s", "samzasql msg/s", "sql/native")
 	for _, r := range rows {
 		fmt.Fprintf(&sb, "  %-10d  %14.0f  %14.0f  %8.2fx\n", r.Containers, r.Native, r.SQL, r.Ratio)
+	}
+	return sb.String()
+}
+
+// FormatOperatorLatencies renders the per-operator latency percentiles of
+// the figure's first (single-container) SamzaSQL run, from the
+// "operator.<stage>.process-ns" histograms the snapshot reporter publishes.
+// Latencies are inclusive of each operator's downstream chain.
+func FormatOperatorLatencies(spec FigureSpec, rows []FigureRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	snap := rows[0].SQLSnap
+	var names []string
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, "operator.") && strings.HasSuffix(name, ".process-ns") {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — per-operator latency, SamzaSQL x%d (ns; inclusive of downstream)\n",
+		spec.Title, rows[0].Containers)
+	fmt.Fprintf(&sb, "  %-24s %10s %9s %9s %9s %10s %10s\n",
+		"operator", "count", "p50", "p95", "p99", "max", "out")
+	for _, name := range names {
+		h := snap.Histograms[name]
+		stage := strings.TrimSuffix(strings.TrimPrefix(name, "operator."), ".process-ns")
+		out := "-"
+		if v, ok := snap.Counters["operator."+stage+".out"]; ok {
+			out = fmt.Sprintf("%d", v)
+		}
+		fmt.Fprintf(&sb, "  %-24s %10d %9d %9d %9d %10d %10s\n",
+			stage, h.Count, h.P50, h.P95, h.P99, h.Max, out)
 	}
 	return sb.String()
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"samzasql/internal/kafka"
+	"samzasql/internal/metrics"
 	"samzasql/internal/samza"
 	"samzasql/internal/sql/catalog"
 	"samzasql/internal/workload"
@@ -36,6 +37,15 @@ type Config struct {
 	// FastPath enables the engine's fused execution mode (§7 future work
 	// item 5) for the SamzaSQL side; off reproduces the paper's prototype.
 	FastPath bool
+	// MetricsInterval, when positive, enables each benchmark job's
+	// per-container metrics snapshot reporter (snapshots land on the
+	// __metrics stream of the run's private broker).
+	MetricsInterval time.Duration
+	// MetricsAddr, when non-empty, serves the runner's introspection
+	// endpoints (/metrics, /healthz, /debug/pprof/) on this address for the
+	// duration of each run — the hook `make profile` uses to capture CPU
+	// profiles of a live benchmark.
+	MetricsAddr string
 }
 
 // DefaultConfig returns the paper's setup scaled for in-process runs.
@@ -59,6 +69,9 @@ type Result struct {
 	// Throughput is job throughput in messages/second (the per-container
 	// average times the container count, as the paper computes it).
 	Throughput float64
+	// Snapshot is the job's merged end-of-run metrics (operator latency
+	// histograms, serde byte counters, consumer-lag gauges).
+	Snapshot metrics.Snapshot
 }
 
 // env is one fresh in-process cluster.
@@ -102,7 +115,7 @@ func (e *env) loadProducts(cfg Config) error {
 // metricsSource is anything exposing merged job metrics (a Samza job, or a
 // SamzaSQL job handle with repartition stages).
 type metricsSource interface {
-	MetricsSnapshot() map[string]int64
+	MetricsSnapshot() metrics.Snapshot
 }
 
 // awaitProcessed polls the job's processed-message counter until it reaches
@@ -111,12 +124,12 @@ func awaitProcessed(rj metricsSource, want int64, start time.Time, timeout time.
 	deadline := start.Add(timeout)
 	for {
 		snap := rj.MetricsSnapshot()
-		if snap["messages-processed"] >= want {
+		if snap.Counters["messages-processed"] >= want {
 			return time.Since(start), nil
 		}
 		if time.Now().After(deadline) {
 			return 0, fmt.Errorf("bench: job processed %d of %d messages before timeout",
-				snap["messages-processed"], want)
+				snap.Counters["messages-processed"], want)
 		}
 		time.Sleep(200 * time.Microsecond)
 	}
@@ -131,6 +144,11 @@ func RunNative(query string, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	stopIntrospection, err := e.serveIntrospection(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer stopIntrospection()
 	if err := e.loadOrders(cfg); err != nil {
 		return Result{}, err
 	}
@@ -145,6 +163,7 @@ func RunNative(query string, cfg Config) (Result, error) {
 		Containers:      cfg.Containers,
 		TaskParallelism: cfg.TaskParallelism,
 		CommitEvery:     100_000,
+		MetricsInterval: cfg.MetricsInterval,
 		Config:          map[string]string{},
 	}
 	switch query {
@@ -189,6 +208,25 @@ func RunNative(query string, cfg Config) (Result, error) {
 		Messages:   int64(cfg.Messages),
 		Elapsed:    elapsed,
 		Throughput: float64(cfg.Messages) / elapsed.Seconds(),
+		Snapshot:   rj.MetricsSnapshot(),
+	}, nil
+}
+
+// serveIntrospection starts the env's introspection server when the config
+// asks for one, returning a stop function (a no-op when disabled).
+func (e *env) serveIntrospection(cfg Config) (func(), error) {
+	if cfg.MetricsAddr == "" {
+		return func() {}, nil
+	}
+	addr, shutdown, err := e.runner.ServeIntrospection(cfg.MetricsAddr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("bench: introspection on http://%s\n", addr)
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = shutdown(ctx)
 	}, nil
 }
 
@@ -215,6 +253,11 @@ func RunSQL(query string, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	stopIntrospection, err := e.serveIntrospection(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer stopIntrospection()
 	if err := e.loadOrders(cfg); err != nil {
 		return Result{}, err
 	}
@@ -226,6 +269,7 @@ func RunSQL(query string, cfg Config) (Result, error) {
 	e.engine.Containers = cfg.Containers
 	e.engine.TaskParallelism = cfg.TaskParallelism
 	e.engine.FastPath = cfg.FastPath
+	e.engine.MetricsInterval = cfg.MetricsInterval
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -246,5 +290,6 @@ func RunSQL(query string, cfg Config) (Result, error) {
 		Messages:   int64(cfg.Messages),
 		Elapsed:    elapsed,
 		Throughput: float64(cfg.Messages) / elapsed.Seconds(),
+		Snapshot:   rj.MetricsSnapshot(),
 	}, nil
 }

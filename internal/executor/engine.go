@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"samzasql/internal/kafka"
 	"samzasql/internal/samza"
@@ -45,6 +46,9 @@ type Engine struct {
 	// gap by avoiding the AvroToArray/ArrayToAvro steps. Off by default to
 	// match the prototype the paper evaluates.
 	FastPath bool
+	// MetricsInterval, when positive, enables the per-container metrics
+	// snapshot reporter on submitted jobs (samza.JobSpec.MetricsInterval).
+	MetricsInterval time.Duration
 
 	queryID atomic.Int64
 	reparts repartitionJobs
@@ -200,6 +204,7 @@ func (e *Engine) Submit(ctx context.Context, p *Prepared) (*Job, error) {
 		Stores:          p.Program.Stores,
 		CommitEvery:     1000,
 		MaxRestarts:     2,
+		MetricsInterval: e.MetricsInterval,
 		Config: map[string]string{
 			"samzasql.zk.query.path": zkQueryPath(p.JobName),
 			"samzasql.output.topic":  p.OutputTopic,

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"samzasql/internal/kafka"
+	"samzasql/internal/metrics"
 	"samzasql/internal/samza"
 	"samzasql/internal/sql/physical"
 	"samzasql/internal/yarn"
@@ -108,4 +109,7 @@ func (j *Job) Stop() []yarn.ContainerStatus {
 func (j *Job) Wait() []yarn.ContainerStatus { return j.Main.Wait() }
 
 // MetricsSnapshot reports the main job's merged metrics.
-func (j *Job) MetricsSnapshot() map[string]int64 { return j.Main.MetricsSnapshot() }
+func (j *Job) MetricsSnapshot() metrics.Snapshot { return j.Main.MetricsSnapshot() }
+
+// TaskHealth reports the main job's per-task liveness.
+func (j *Job) TaskHealth() map[string]string { return j.Main.TaskHealth() }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sort"
 	"sync"
+
+	"samzasql/internal/metrics"
 )
 
 // Consumer reads a fixed assignment of partitions, tracking a position per
@@ -27,6 +29,10 @@ type Consumer struct {
 
 	mu        sync.Mutex
 	positions map[TopicPartition]int64
+	// lagGauges holds the per-partition consumer-lag gauges bound via
+	// BindLagGauge; UpdateLag refreshes them against the broker's high
+	// watermarks.
+	lagGauges map[TopicPartition]*metrics.Gauge
 	// rr orders partitions for round-robin polling fairness. It doubles as
 	// the cached assignment snapshot: it is rebuilt only by Assign, and
 	// pollOnce iterates it under a single lock acquisition without copying.
@@ -198,24 +204,55 @@ func (c *Consumer) Commit() {
 	}
 }
 
-// Lag returns the total number of unconsumed messages across the assignment.
-func (c *Consumer) Lag() (int64, error) {
+// BindLagGauge attaches a gauge to an assigned partition's consumer lag.
+// UpdateLag refreshes it; a sampler (the container's metrics reporter) calls
+// that on its own cadence so the poll hot path never pays the broker
+// high-watermark query.
+func (c *Consumer) BindLagGauge(tp TopicPartition, g *metrics.Gauge) {
 	c.mu.Lock()
-	snapshot := make(map[TopicPartition]int64, len(c.positions))
+	defer c.mu.Unlock()
+	if c.lagGauges == nil {
+		c.lagGauges = map[TopicPartition]*metrics.Gauge{}
+	}
+	c.lagGauges[tp] = g
+}
+
+// UpdateLag recomputes per-partition consumer lag against the broker's high
+// watermarks (Broker.HighWatermark), stores it into any bound gauges, and
+// returns the total across the assignment. A replayed-from-zero partition
+// reports the full retained log; a caught-up partition reports 0.
+func (c *Consumer) UpdateLag() (int64, error) {
+	c.mu.Lock()
+	positions := make(map[TopicPartition]int64, len(c.positions))
 	for tp, pos := range c.positions {
-		snapshot[tp] = pos
+		positions[tp] = pos
+	}
+	gauges := make(map[TopicPartition]*metrics.Gauge, len(c.lagGauges))
+	for tp, g := range c.lagGauges {
+		gauges[tp] = g
 	}
 	c.mu.Unlock()
 
-	var lag int64
-	for tp, pos := range snapshot {
+	var total int64
+	for tp, pos := range positions {
 		hwm, err := c.broker.HighWatermark(tp)
 		if err != nil {
 			return 0, err
 		}
-		if hwm > pos {
-			lag += hwm - pos
+		lag := hwm - pos
+		if lag < 0 {
+			lag = 0
 		}
+		if g := gauges[tp]; g != nil {
+			g.Set(lag)
+		}
+		total += lag
 	}
-	return lag, nil
+	return total, nil
+}
+
+// Lag returns the total number of unconsumed messages across the
+// assignment, refreshing any bound per-partition gauges along the way.
+func (c *Consumer) Lag() (int64, error) {
+	return c.UpdateLag()
 }

@@ -1,0 +1,206 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: values below subBucketCount are counted exactly
+// (one bucket per value); above that, each power of two is split into
+// subBucketCount log-scaled sub-buckets, bounding the relative error of any
+// recorded value by 1/subBucketCount. With 8 sub-buckets that is 12.5%
+// worst-case — tight enough for latency percentiles while keeping the whole
+// histogram a flat 4 KiB array of atomics.
+const (
+	subBucketBits  = 3
+	subBucketCount = 1 << subBucketBits // 8
+	// numBuckets covers the full non-negative int64 range: buckets 0..7 are
+	// exact, then (63-3) doublings of 8 sub-buckets each.
+	numBuckets = (64 - subBucketBits + 1) * subBucketCount
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < subBucketCount {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1 // position of the top bit, >= subBucketBits
+	shift := exp - subBucketBits
+	sub := int((u >> uint(shift)) & (subBucketCount - 1))
+	return (shift+1)*subBucketCount + sub
+}
+
+// bucketUpperBound returns the largest value a bucket holds (inclusive).
+func bucketUpperBound(idx int) int64 {
+	if idx < subBucketCount {
+		return int64(idx)
+	}
+	block := idx/subBucketCount - 1 // 0-based doubling block
+	sub := idx % subBucketCount
+	lower := uint64(subBucketCount+sub) << uint(block)
+	width := uint64(1) << uint(block)
+	upper := lower + width - 1
+	if upper > uint64(1<<63-1) {
+		upper = 1<<63 - 1
+	}
+	return int64(upper)
+}
+
+// Histogram records a distribution of non-negative int64 observations
+// (latencies in nanoseconds, sizes in bytes) into fixed log-scaled buckets.
+// Observe is lock-free — one atomic add on the bucket plus count/sum/max
+// maintenance — and allocation-free, so it can sit on per-message hot paths.
+// Negative observations clamp to zero.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistogramSnapshot is a point-in-time summary of a histogram. Percentiles
+// are computed from the log-scaled buckets, so each carries the layout's
+// bounded relative error (at most 1/8 below the true value's bucket bound).
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot summarizes the current distribution. Concurrent Observe calls may
+// or may not be included; the result is internally consistent enough for
+// reporting (percentiles are computed from one pass over the buckets).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [numBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+	}
+	snap := HistogramSnapshot{
+		Count: total,
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if total == 0 {
+		return snap
+	}
+	snap.P50 = quantileFromBuckets(&counts, total, 0.50)
+	snap.P95 = quantileFromBuckets(&counts, total, 0.95)
+	snap.P99 = quantileFromBuckets(&counts, total, 0.99)
+	if snap.P99 > snap.Max && snap.Max > 0 {
+		// The top bucket's upper bound can overshoot the true maximum;
+		// clamp so reported percentiles never exceed the observed max.
+		snap.P99 = snap.Max
+	}
+	if snap.P95 > snap.Max && snap.Max > 0 {
+		snap.P95 = snap.Max
+	}
+	if snap.P50 > snap.Max && snap.Max > 0 {
+		snap.P50 = snap.Max
+	}
+	return snap
+}
+
+// quantileFromBuckets finds the upper bound of the bucket containing the
+// q-quantile observation (rank = ceil(q * total)).
+func quantileFromBuckets(counts *[numBuckets]int64, total int64, q float64) int64 {
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i := range counts {
+		seen += counts[i]
+		if seen >= rank {
+			return bucketUpperBound(i)
+		}
+	}
+	return bucketUpperBound(numBuckets - 1)
+}
+
+// mergeHistogramSnapshots combines per-container summaries into a job-level
+// view: counts, sums add; max takes the max; percentiles are count-weighted
+// averages — an approximation (exact merge would need the raw buckets), good
+// enough for the aggregate dumps. Per-container exact values travel through
+// the metrics snapshot stream.
+func mergeHistogramSnapshots(a, b HistogramSnapshot) HistogramSnapshot {
+	if a.Count == 0 {
+		return b
+	}
+	if b.Count == 0 {
+		return a
+	}
+	total := a.Count + b.Count
+	wavg := func(x, y int64) int64 {
+		return int64((float64(x)*float64(a.Count) + float64(y)*float64(b.Count)) / float64(total))
+	}
+	out := HistogramSnapshot{
+		Count: total,
+		Sum:   a.Sum + b.Sum,
+		Max:   a.Max,
+		P50:   wavg(a.P50, b.P50),
+		P95:   wavg(a.P95, b.P95),
+		P99:   wavg(a.P99, b.P99),
+	}
+	if b.Max > out.Max {
+		out.Max = b.Max
+	}
+	return out
+}
+
+// Timer records durations into a histogram in nanoseconds. It is a value
+// type over the underlying histogram, so callers hoist it once
+// (`t := reg.Timer("x")`) and the per-event path is two time.Now calls plus
+// one lock-free Observe — zero allocations.
+type Timer struct {
+	h *Histogram
+}
+
+// Start returns the start instant for a later Stop.
+func (t Timer) Start() time.Time { return time.Now() }
+
+// Stop records the monotonic elapsed time since start.
+func (t Timer) Stop(start time.Time) { t.h.Observe(time.Since(start).Nanoseconds()) }
+
+// Observe records an already-measured duration.
+func (t Timer) Observe(d time.Duration) { t.h.Observe(d.Nanoseconds()) }
+
+// Histogram exposes the backing histogram.
+func (t Timer) Histogram() *Histogram { return t.h }

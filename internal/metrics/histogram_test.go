@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// maxRelErr is the layout's worst-case relative error bound (1/subBucketCount)
+// with headroom for the rank falling at a bucket edge.
+const maxRelErr = 2.0 / subBucketCount
+
+func TestBucketRoundTrip(t *testing.T) {
+	cases := []int64{0, 1, 7, 8, 9, 15, 16, 17, 100, 1023, 1024, 1_000_000, 1 << 40, 1<<63 - 1}
+	for _, v := range cases {
+		idx := bucketIndex(v)
+		upper := bucketUpperBound(idx)
+		if upper < v {
+			t.Errorf("value %d: bucket %d upper bound %d below value", v, idx, upper)
+		}
+		if v > 0 && float64(upper-v) > float64(v)*maxRelErr+1 {
+			t.Errorf("value %d: upper bound %d exceeds relative error bound", v, upper)
+		}
+		if idx < 0 || idx >= numBuckets {
+			t.Errorf("value %d: bucket %d out of range", v, idx)
+		}
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; run
+// under -race this doubles as the data-race check for the lock-free path.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				h.Observe(rng.Int63n(1_000_000))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", snap.Count, goroutines*perG)
+	}
+	if snap.Max >= 1_000_000 || snap.P50 <= 0 || snap.P50 > snap.P95 || snap.P95 > snap.P99 {
+		t.Fatalf("implausible snapshot %+v", snap)
+	}
+}
+
+// TestHistogramPercentileAccuracy checks p50/p95/p99 against a reference
+// sort on fixed inputs across several distributions; every reported
+// percentile must be within the bucket layout's relative error of the exact
+// order statistic.
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	distributions := map[string]func(rng *rand.Rand) int64{
+		"uniform":     func(rng *rand.Rand) int64 { return rng.Int63n(100_000) },
+		"exponential": func(rng *rand.Rand) int64 { return int64(rng.ExpFloat64() * 10_000) },
+		"bimodal": func(rng *rand.Rand) int64 {
+			if rng.Intn(10) == 0 {
+				return 500_000 + rng.Int63n(1000)
+			}
+			return 1000 + rng.Int63n(100)
+		},
+		"constant": func(*rand.Rand) int64 { return 4242 },
+	}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			const n = 20_000
+			var h Histogram
+			values := make([]int64, n)
+			for i := range values {
+				v := gen(rng)
+				values[i] = v
+				h.Observe(v)
+			}
+			sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+			exact := func(q float64) int64 {
+				rank := int(q * n)
+				if rank < 1 {
+					rank = 1
+				}
+				return values[rank-1]
+			}
+			snap := h.Snapshot()
+			for _, c := range []struct {
+				q    float64
+				got  int64
+				name string
+			}{
+				{0.50, snap.P50, "p50"},
+				{0.95, snap.P95, "p95"},
+				{0.99, snap.P99, "p99"},
+			} {
+				want := exact(c.q)
+				tol := float64(want)*maxRelErr + 1
+				if diff := float64(c.got - want); diff > tol || diff < -tol {
+					t.Errorf("%s = %d, reference sort says %d (tolerance %.0f)", c.name, c.got, want, tol)
+				}
+			}
+			if snap.Max != values[n-1] {
+				t.Errorf("max = %d, want %d", snap.Max, values[n-1])
+			}
+		})
+	}
+}
+
+// TestObserveZeroAllocs pins the hot-path contract: Histogram.Observe and
+// the Timer start/stop pair allocate nothing, so instrumentation can sit on
+// the per-message task loop without breaking the 0 allocs/op regression
+// benchmarks.
+func TestObserveZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); allocs != 0 {
+		t.Errorf("Histogram.Observe: %.1f allocs/op, want 0", allocs)
+	}
+	timer := r.Timer("proc")
+	if allocs := testing.AllocsPerRun(1000, func() {
+		start := timer.Start()
+		timer.Stop(start)
+	}); allocs != 0 {
+		t.Errorf("Timer start/stop: %.1f allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { timer.Observe(time.Microsecond) }); allocs != 0 {
+		t.Errorf("Timer.Observe: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

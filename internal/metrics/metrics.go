@@ -1,9 +1,12 @@
-// Package metrics provides the counters and gauges Samza containers expose
-// and the benchmark harness samples to compute the throughput figures in §5.
+// Package metrics provides the counters, gauges, histograms and timers
+// Samza containers expose, the typed registry snapshots the metrics
+// reporter publishes, and the sampling helpers the benchmark harness uses
+// to compute the throughput figures in §5.
 package metrics
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -39,17 +42,24 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // concurrent use by every task goroutine in a container: lookups of
 // existing metrics take only a read lock, so hot paths that have not
 // hoisted their counters contend only on the atomics inside them.
+//
+// Counters, gauges and histograms live in separate namespaces: registering
+// a counter and a gauge under the same name yields two distinct metrics,
+// and Snapshot reports them in separate typed maps so they can never
+// silently overwrite each other.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
 	}
 }
 
@@ -87,60 +97,180 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Snapshot returns all metric values keyed by name, counters and gauges
-// merged, in a fresh map.
-func (r *Registry) Snapshot() map[string]int64 {
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Timer returns a timer view over the named histogram (shared namespace:
+// Timer("x") and Histogram("x") record into the same distribution, in
+// nanoseconds).
+func (r *Registry) Timer(name string) Timer {
+	return Timer{h: r.Histogram(name)}
+}
+
+// Snapshot is a typed point-in-time copy of a registry (or of several
+// merged registries). Counters, gauges and histograms are kept in separate
+// maps, so metrics of different kinds sharing a name can never collide.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// NewSnapshot returns an empty snapshot ready to be merged into.
+func NewSnapshot() Snapshot {
+	return Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+}
+
+// Merge folds other into s: counters and gauges add, histogram summaries
+// combine (counts/sums add, max takes max, percentiles count-weighted —
+// see mergeHistogramSnapshots).
+func (s Snapshot) Merge(other Snapshot) {
+	for n, v := range other.Counters {
+		s.Counters[n] += v
+	}
+	for n, v := range other.Gauges {
+		s.Gauges[n] += v
+	}
+	for n, h := range other.Histograms {
+		s.Histograms[n] = mergeHistogramSnapshots(s.Histograms[n], h)
+	}
+}
+
+// Snapshot returns the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[string]int64, len(r.counters)+len(r.gauges))
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
 	for n, c := range r.counters {
-		out[n] = c.Value()
+		out.Counters[n] = c.Value()
 	}
 	for n, g := range r.gauges {
-		out[n] = g.Value()
+		out.Gauges[n] = g.Value()
+	}
+	for n, h := range r.histograms {
+		out.Histograms[n] = h.Snapshot()
 	}
 	return out
 }
 
-// Names returns the sorted names of all registered metrics.
+// Names returns the sorted names of all registered metrics (all kinds;
+// a name registered as several kinds appears once).
 func (r *Registry) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.counters)+len(r.gauges))
+	seen := make(map[string]bool, len(r.counters)+len(r.gauges)+len(r.histograms))
 	for n := range r.counters {
-		out = append(out, n)
+		seen[n] = true
 	}
 	for n := range r.gauges {
+		seen[n] = true
+	}
+	for n := range r.histograms {
+		seen[n] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
 		out = append(out, n)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Rate measures events per second between two counter observations.
+// WriteText renders a snapshot in the introspection server's stable text
+// format: one line per metric, sorted within each kind.
+//
+//	counter messages-processed 100000
+//	gauge kafka.lag.orders.0 12
+//	histogram task.Partition-0.process-ns count=41 p50=1834 p95=3702 p99=4911 max=51023
+func (s Snapshot) WriteText(w io.Writer) {
+	for _, n := range sortedKeys(s.Counters) {
+		fmt.Fprintf(w, "counter %s %d\n", n, s.Counters[n])
+	}
+	for _, n := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(w, "gauge %s %d\n", n, s.Gauges[n])
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := s.Histograms[n]
+		fmt.Fprintf(w, "histogram %s count=%d p50=%d p95=%d p99=%d max=%d\n",
+			n, h.Count, h.P50, h.P95, h.P99, h.Max)
+	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rate measures events per second between two counter observations. Elapsed
+// time is taken from the monotonic clock only (a wall-clock jump between
+// samples cannot distort or negate a rate), and a counter that moves
+// backwards — e.g. the underlying counter was swapped or reset between
+// samples — resets the window instead of reporting a negative rate.
 type Rate struct {
 	counter   *Counter
 	lastValue int64
-	lastTime  time.Time
+	// start anchors the monotonic clock; lastElapsed is the window start
+	// expressed as monotonic time since start.
+	start       time.Time
+	lastElapsed time.Duration
 }
 
 // NewRate starts tracking c from now.
 func NewRate(c *Counter) *Rate {
-	return &Rate{counter: c, lastValue: c.Value(), lastTime: time.Now()}
+	return &Rate{counter: c, lastValue: c.Value(), start: time.Now()}
 }
 
 // Sample returns events/second since the previous sample and resets the
-// window.
+// window. It returns 0 (without consuming the window) when no monotonic
+// time has elapsed, and 0 (resetting the baseline) when the counter has
+// gone backwards.
 func (r *Rate) Sample() float64 {
-	now := time.Now()
-	v := r.counter.Value()
-	dt := now.Sub(r.lastTime).Seconds()
+	elapsed := time.Since(r.start) // monotonic: immune to wall-clock jumps
+	dt := (elapsed - r.lastElapsed).Seconds()
 	if dt <= 0 {
+		return 0
+	}
+	v := r.counter.Value()
+	if v < r.lastValue {
+		// Counter swapped or reset between samples: re-baseline.
+		r.lastValue = v
+		r.lastElapsed = elapsed
 		return 0
 	}
 	rate := float64(v-r.lastValue) / dt
 	r.lastValue = v
-	r.lastTime = now
+	r.lastElapsed = elapsed
 	return rate
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounterConcurrent(t *testing.T) {
@@ -45,13 +46,64 @@ func TestRegistryIdentityAndSnapshot(t *testing.T) {
 	}
 	a.Add(5)
 	r.Gauge("lag").Set(3)
+	r.Histogram("lat").Observe(7)
 	snap := r.Snapshot()
-	if snap["msgs"] != 5 || snap["lag"] != 3 {
-		t.Fatalf("snapshot %v", snap)
+	if snap.Counters["msgs"] != 5 || snap.Gauges["lag"] != 3 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if h := snap.Histograms["lat"]; h.Count != 1 || h.Max != 7 {
+		t.Fatalf("histogram snapshot %+v", h)
 	}
 	names := r.Names()
-	if len(names) != 2 || names[0] != "lag" || names[1] != "msgs" {
+	if len(names) != 3 || names[0] != "lag" || names[1] != "lat" || names[2] != "msgs" {
 		t.Fatalf("names %v", names)
+	}
+}
+
+// TestSnapshotNoNameCollision pins the satellite fix: a counter and a gauge
+// (and a histogram) registered under the same name must all survive into the
+// snapshot with their own values — the old merged map silently let one
+// overwrite the other.
+func TestSnapshotNoNameCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(11)
+	r.Gauge("x").Set(22)
+	r.Histogram("x").Observe(33)
+	snap := r.Snapshot()
+	if snap.Counters["x"] != 11 {
+		t.Errorf("counter x = %d, want 11", snap.Counters["x"])
+	}
+	if snap.Gauges["x"] != 22 {
+		t.Errorf("gauge x = %d, want 22", snap.Gauges["x"])
+	}
+	if h := snap.Histograms["x"]; h.Count != 1 || h.Max != 33 {
+		t.Errorf("histogram x = %+v, want one observation of 33", h)
+	}
+	// The shared name lists once.
+	if names := r.Names(); len(names) != 1 || names[0] != "x" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("msgs").Add(5)
+	b.Counter("msgs").Add(7)
+	a.Gauge("lag").Set(2)
+	b.Gauge("lag").Set(3)
+	for i := int64(1); i <= 10; i++ {
+		a.Histogram("lat").Observe(i)
+		b.Histogram("lat").Observe(i * 100)
+	}
+	merged := NewSnapshot()
+	merged.Merge(a.Snapshot())
+	merged.Merge(b.Snapshot())
+	if merged.Counters["msgs"] != 12 || merged.Gauges["lag"] != 5 {
+		t.Fatalf("merged %+v", merged)
+	}
+	h := merged.Histograms["lat"]
+	if h.Count != 20 || h.Max < 1000 {
+		t.Fatalf("merged histogram %+v", h)
 	}
 }
 
@@ -59,13 +111,35 @@ func TestRateSample(t *testing.T) {
 	var c Counter
 	r := NewRate(&c)
 	c.Add(100)
+	time.Sleep(time.Millisecond)
 	rate := r.Sample()
 	if rate <= 0 {
 		t.Fatalf("rate = %f", rate)
 	}
 	// Second sample with no events should be ~0.
+	time.Sleep(time.Millisecond)
 	if rate2 := r.Sample(); rate2 < 0 {
 		t.Fatalf("rate2 = %f", rate2)
+	}
+}
+
+// TestRateCounterWentBackwards pins the satellite fix: a counter observed
+// below the previous sample (swapped or reset between samples) re-baselines
+// the window and reports 0 rather than a negative rate.
+func TestRateCounterWentBackwards(t *testing.T) {
+	var c Counter
+	c.Add(1000)
+	r := NewRate(&c)
+	c.Add(-900) // simulates the counter being replaced by a fresh one
+	time.Sleep(time.Millisecond)
+	if rate := r.Sample(); rate != 0 {
+		t.Fatalf("rate after regression = %f, want 0", rate)
+	}
+	// The baseline re-anchored at the regressed value: new growth counts.
+	c.Add(50)
+	time.Sleep(time.Millisecond)
+	if rate := r.Sample(); rate <= 0 {
+		t.Fatalf("rate after re-baseline = %f, want > 0", rate)
 	}
 }
 

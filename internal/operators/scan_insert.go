@@ -2,8 +2,18 @@ package operators
 
 import (
 	"fmt"
+	"time"
 
 	"samzasql/internal/avro"
+	"samzasql/internal/metrics"
+)
+
+// Serde byte counters shared by every decode/encode stage of a task: bytes
+// read off the wire into tuples and bytes written back out. Operators bind
+// them once at Open.
+const (
+	SerdeBytesInMetric  = "serde.bytes-in"
+	SerdeBytesOutMetric = "serde.bytes-out"
 )
 
 // ScanOp decodes an incoming Avro message into the tuple-as-array
@@ -16,19 +26,35 @@ type ScanOp struct {
 	TsIdx int
 	// Stream is the source topic name (used for routing labels).
 	Stream string
+
+	// Observability handles, bound at Open (nil when the op runs outside a
+	// metrics-carrying context, e.g. direct Decode calls in tests).
+	bytesIn   *metrics.Counter
+	decodeLat *metrics.Histogram
 }
 
-// Open implements Operator.
-func (*ScanOp) Open(*OpContext) error { return nil }
+// Open implements Operator, binding the scan's serde metrics.
+func (s *ScanOp) Open(ctx *OpContext) error {
+	if ctx.Metrics != nil {
+		s.bytesIn = ctx.Metrics.Counter(SerdeBytesInMetric)
+		s.decodeLat = ctx.Metrics.Histogram("operator.scan." + s.Stream + ".decode-ns")
+	}
+	return nil
+}
 
 // Process is not used for ScanOp; scans convert raw messages via Decode.
 func (s *ScanOp) Process(_ int, t *Tuple, emit Emit) error { return emit(t) }
 
 // Decode converts one raw message into a tuple.
 func (s *ScanOp) Decode(value []byte, key []byte, msgTs int64, partition int32, offset int64) (*Tuple, error) {
+	start := time.Now()
 	row, err := s.Codec.DecodeRow(value, nil)
 	if err != nil {
 		return nil, fmt.Errorf("operators: scan decode (%s): %w", s.Stream, err)
+	}
+	if s.bytesIn != nil {
+		s.bytesIn.Add(int64(len(value)))
+		s.decodeLat.Observe(time.Since(start).Nanoseconds())
 	}
 	t := &Tuple{
 		Row: row, Ts: msgTs, Key: key,
@@ -55,16 +81,27 @@ type InsertOp struct {
 	Send   Sender
 	// KeyByTupleKey selects key-based partitioning when tuples carry keys.
 	KeyByTupleKey bool
+
+	// bytesOut counts encoded output bytes; bound at Open.
+	bytesOut *metrics.Counter
 }
 
-// Open implements Operator.
-func (*InsertOp) Open(*OpContext) error { return nil }
+// Open implements Operator, binding the insert's serde metrics.
+func (i *InsertOp) Open(ctx *OpContext) error {
+	if ctx.Metrics != nil {
+		i.bytesOut = ctx.Metrics.Counter(SerdeBytesOutMetric)
+	}
+	return nil
+}
 
 // Process implements Operator.
 func (i *InsertOp) Process(_ int, t *Tuple, emit Emit) error {
 	value, err := i.Codec.EncodeRow(t.Row)
 	if err != nil {
 		return fmt.Errorf("operators: insert encode (%s): %w", i.Target, err)
+	}
+	if i.bytesOut != nil {
+		i.bytesOut.Add(int64(len(value)))
 	}
 	partition := t.Partition
 	var key []byte

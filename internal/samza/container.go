@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"samzasql/internal/kafka"
@@ -107,6 +108,36 @@ type taskInstance struct {
 	// batch at once, and committing its position mid-batch would skip
 	// unprocessed messages after a crash.
 	delivered map[string]int64
+	// procLat, winLat and commitLat are pre-bound per-task latency timers
+	// ("task.<name>.{process,window,commit}-ns"); hoisting them here keeps
+	// the per-message path free of registry lookups and allocations.
+	procLat   metrics.Timer
+	winLat    metrics.Timer
+	commitLat metrics.Timer
+	// health is the supervisor-visible liveness state (taskHealth* consts),
+	// read by Container.TaskHealth for the /healthz endpoint.
+	health atomic.Int32
+}
+
+// Task liveness states reported by Container.TaskHealth.
+const (
+	taskHealthInit int32 = iota
+	taskHealthRunning
+	taskHealthStopped
+	taskHealthFailed
+)
+
+func taskHealthString(s int32) string {
+	switch s {
+	case taskHealthRunning:
+		return "running"
+	case taskHealthStopped:
+		return "stopped"
+	case taskHealthFailed:
+		return "failed"
+	default:
+		return "init"
+	}
 }
 
 // Container runs a set of tasks against the broker, mirroring a Samza
@@ -174,10 +205,10 @@ func (c *Container) buildTask(partition, inputPartitions int32) (*taskInstance, 
 			if err != nil {
 				return nil, err
 			}
-			stores[spec.Name] = cl
+			stores[spec.Name] = kv.Instrument(cl, c.Metrics, spec.Name)
 			changelogs = append(changelogs, cl)
 		} else {
-			stores[spec.Name] = base
+			stores[spec.Name] = kv.Instrument(base, c.Metrics, spec.Name)
 		}
 	}
 	tctx := &TaskContext{
@@ -198,7 +229,32 @@ func (c *Container) buildTask(partition, inputPartitions int32) (*taskInstance, 
 		ctx:       tctx,
 		changelog: changelogs,
 		delivered: map[string]int64{},
+		procLat:   c.Metrics.Timer("task." + string(name) + ".process-ns"),
+		winLat:    c.Metrics.Timer("task." + string(name) + ".window-ns"),
+		commitLat: c.Metrics.Timer("task." + string(name) + ".commit-ns"),
 	}, nil
+}
+
+// TaskHealth reports the liveness state of every task in the container,
+// keyed by task name. Safe to call concurrently with Run.
+func (c *Container) TaskHealth() map[string]string {
+	out := make(map[string]string, len(c.tasks))
+	for _, ti := range c.tasks {
+		out[string(ti.name)] = taskHealthString(ti.health.Load())
+	}
+	return out
+}
+
+// UpdateLags refreshes every task consumer's per-partition lag gauges from
+// the broker's high watermarks and returns the container-wide total.
+func (c *Container) UpdateLags() int64 {
+	var total int64
+	for _, ti := range c.tasks {
+		if lag, err := ti.consumer.UpdateLag(); err == nil {
+			total += lag
+		}
+	}
+	return total
 }
 
 // Run executes the container until ctx is cancelled, a task requests
@@ -225,6 +281,7 @@ func (c *Container) Run(ctx context.Context) error {
 			if err := ti.consumer.Assign(tp); err != nil {
 				return fmt.Errorf("samza: %s assign %s: %w", ti.name, tp, err)
 			}
+			ti.consumer.BindLagGauge(tp, c.Metrics.Gauge(fmt.Sprintf("kafka.lag.%s.%d", in.Topic, ti.partition)))
 			if found {
 				if off, ok := cp.Offsets[in.Topic]; ok {
 					ti.consumer.Seek(tp, off)
@@ -241,6 +298,28 @@ func (c *Container) Run(ctx context.Context) error {
 			return fmt.Errorf("samza: %s init: %w", ti.name, err)
 		}
 	}
+	// Start the per-container metrics reporter (when configured) before the
+	// task loops, on its own context: it must outlive the tasks so the final
+	// flush after wg.Wait() captures complete end-of-run metrics.
+	var (
+		repWG     sync.WaitGroup
+		repCancel context.CancelFunc
+	)
+	if c.job.MetricsInterval > 0 {
+		topic := c.job.MetricsTopicName()
+		if err := c.broker.EnsureTopic(topic, kafka.TopicConfig{Partitions: 1}); err != nil {
+			return fmt.Errorf("samza: metrics topic: %w", err)
+		}
+		rep := NewMetricsSnapshotReporter(c.broker, c.job.Name, c.ID, topic,
+			c.job.MetricsInterval, c.Metrics, func() { c.UpdateLags() })
+		var repCtx context.Context
+		repCtx, repCancel = context.WithCancel(context.Background())
+		repWG.Add(1)
+		go func() {
+			defer repWG.Done()
+			rep.Run(repCtx)
+		}()
+	}
 	// Phases 4+5 run per task in a dedicated goroutine: drain bootstrap
 	// streams (§2 "Bootstrap Streams"), then the poll-process loop. The
 	// supervisor cancels every sibling on the first failure or on a
@@ -256,19 +335,27 @@ func (c *Container) Run(ctx context.Context) error {
 		wg.Add(1)
 		go func(ti *taskInstance) {
 			defer wg.Done()
+			ti.health.Store(taskHealthRunning)
 			err := c.runTask(runCtx, ti)
 			if err == nil {
+				ti.health.Store(taskHealthStopped)
 				return
 			}
 			if errors.Is(err, errStopRequested) {
+				ti.health.Store(taskHealthStopped)
 				cancel()
 				return
 			}
+			ti.health.Store(taskHealthFailed)
 			errOnce.Do(func() { firstErr = err })
 			cancel()
 		}(ti)
 	}
 	wg.Wait()
+	if repCancel != nil {
+		repCancel()
+		repWG.Wait()
+	}
 	return firstErr
 }
 
@@ -390,18 +477,22 @@ func (c *Container) pollTask(ctx context.Context, ti *taskInstance) (bool, error
 			Key: m.Key, Value: m.Value, Timestamp: m.Timestamp,
 		}
 		ti.coord.reset()
+		start := ti.procLat.Start()
 		if err := ti.task.Process(env, c.coll, &ti.coord); err != nil {
 			return false, fmt.Errorf("samza: %s process: %w", ti.name, err)
 		}
+		ti.procLat.Stop(start)
 		ti.delivered[env.Stream] = env.Offset + 1
 		c.processed.Inc()
 		ti.processed++
 		ti.sinceWin++
 
 		if wt, ok := ti.task.(WindowableTask); ok && c.job.WindowEvery > 0 && ti.sinceWin >= c.job.WindowEvery {
+			wstart := ti.winLat.Start()
 			if err := wt.Window(c.coll, &ti.coord); err != nil {
 				return false, fmt.Errorf("samza: %s window: %w", ti.name, err)
 			}
+			ti.winLat.Stop(wstart)
 			ti.sinceWin = 0
 		}
 		needCommit := ti.coord.commitRequested ||
@@ -421,6 +512,7 @@ func (c *Container) pollTask(ctx context.Context, ti *taskInstance) (bool, error
 
 // commitTask writes the task's current consumer positions as a checkpoint.
 func (c *Container) commitTask(ti *taskInstance) error {
+	start := ti.commitLat.Start()
 	cp := Checkpoint{Task: ti.name, Offsets: map[string]int64{}}
 	for topic, off := range ti.delivered {
 		cp.Offsets[topic] = off
@@ -429,6 +521,7 @@ func (c *Container) commitTask(ti *taskInstance) error {
 		return fmt.Errorf("samza: %s checkpoint write: %w", ti.name, err)
 	}
 	c.commits.Inc()
+	ti.commitLat.Stop(start)
 	return nil
 }
 

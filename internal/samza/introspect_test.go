@@ -1,0 +1,103 @@
+package samza
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"samzasql/internal/kafka"
+)
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestIntrospectionEndpoints(t *testing.T) {
+	b, runner := testEnv()
+	if err := b.EnsureTopic("in", kafka.TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.EnsureTopic("out", kafka.TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	produceN(t, b, "in", 0, 10, "a")
+	produceN(t, b, "in", 1, 10, "b")
+
+	addr, shutdown, err := runner.ServeIntrospection("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(context.Background())
+
+	job := &JobSpec{
+		Name:        "introspected",
+		Inputs:      []StreamSpec{{Topic: "in"}},
+		TaskFactory: func() StreamTask { return &passthroughTask{out: "out"} },
+		CommitEvery: 5,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rj, err := runner.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rj.Stop()
+	waitFor(t, 5*time.Second, func() bool {
+		return rj.MetricsSnapshot().Counters["messages-processed"] >= 20
+	}, "messages processed")
+
+	base := "http://" + addr
+	code, body := httpGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# job introspected",
+		"counter messages-processed 20",
+		"histogram task.Partition-0.process-ns",
+		"gauge kafka.lag.in.0 0",
+		"gauge kafka.lag.in.1 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = httpGet(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d: %s", code, body)
+	}
+	var h struct {
+		Status string                       `json:"status"`
+		Jobs   map[string]map[string]string `json:"jobs"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz is not JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("healthz status %q, want ok", h.Status)
+	}
+	tasks := h.Jobs["introspected"]
+	if tasks["Partition-0"] != "running" || tasks["Partition-1"] != "running" {
+		t.Fatalf("task health %v, want both running", tasks)
+	}
+
+	code, body = httpGet(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d body %.80s", code, body)
+	}
+}

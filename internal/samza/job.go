@@ -3,6 +3,7 @@ package samza
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"samzasql/internal/kafka"
 )
@@ -59,8 +60,24 @@ type JobSpec struct {
 	// like 0. Tasks own disjoint partitions and disjoint state, so any
 	// setting preserves per-task ordering.
 	TaskParallelism int
+	// MetricsInterval, when positive, runs a MetricsSnapshotReporter per
+	// container, publishing registry snapshots to the metrics stream at this
+	// period (plus an initial snapshot at start and a final one at stop).
+	// 0 disables reporting.
+	MetricsInterval time.Duration
+	// MetricsTopic overrides the metrics stream name; empty uses
+	// DefaultMetricsTopic.
+	MetricsTopic string
 	// Config carries arbitrary job configuration strings.
 	Config map[string]string
+}
+
+// MetricsTopicName resolves the metrics stream this job publishes to.
+func (j *JobSpec) MetricsTopicName() string {
+	if j.MetricsTopic != "" {
+		return j.MetricsTopic
+	}
+	return DefaultMetricsTopic
 }
 
 // Validate checks the spec for structural problems.

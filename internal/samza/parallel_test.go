@@ -66,7 +66,7 @@ func TestTasksRunConcurrentlyInOneContainer(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, 8*time.Second, func() bool {
-		return rj.MetricsSnapshot()["messages-processed"] >= 20
+		return rj.MetricsSnapshot().Counters["messages-processed"] >= 20
 	}, "all 20 messages across 4 concurrent tasks")
 	for _, s := range rj.Stop() {
 		if s.Err != nil {
@@ -122,7 +122,7 @@ func runGaugeJob(t *testing.T, parallelism int) int32 {
 		t.Fatal(err)
 	}
 	waitFor(t, 10*time.Second, func() bool {
-		return rj.MetricsSnapshot()["messages-processed"] >= 160
+		return rj.MetricsSnapshot().Counters["messages-processed"] >= 160
 	}, "all 160 messages")
 	rj.Stop()
 	return max.Load()

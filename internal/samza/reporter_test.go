@@ -1,0 +1,124 @@
+package samza
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"samzasql/internal/kafka"
+	"samzasql/internal/serde"
+)
+
+func TestSnapshotSerdeRoundTrip(t *testing.T) {
+	s, err := serde.Lookup("metrics-snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &MetricsSnapshotMessage{Job: "j", Container: 2, TimeMillis: 123, Seq: 7}
+	in.Metrics.Counters = map[string]int64{"messages-processed": 42}
+	in.Metrics.Gauges = map[string]int64{"kafka.lag.orders.0": 5}
+	data, err := s.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := v.(*MetricsSnapshotMessage)
+	if out.Job != "j" || out.Container != 2 || out.Seq != 7 {
+		t.Fatalf("round trip mangled envelope: %+v", out)
+	}
+	if out.Metrics.Counters["messages-processed"] != 42 || out.Metrics.Gauges["kafka.lag.orders.0"] != 5 {
+		t.Fatalf("round trip mangled metrics: %+v", out.Metrics)
+	}
+	if _, err := s.Encode("not a snapshot"); err == nil {
+		t.Fatal("expected wrong-type error")
+	}
+}
+
+// TestMetricsSnapshotReporterPublishes runs a job with the reporter enabled
+// and tails the metrics stream back, asserting the published snapshots carry
+// per-task latency percentiles and per-partition consumer-lag gauges.
+func TestMetricsSnapshotReporterPublishes(t *testing.T) {
+	b, runner := testEnv()
+	if err := b.EnsureTopic("in", kafka.TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.EnsureTopic("out", kafka.TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	produceN(t, b, "in", 0, 30, "a")
+	produceN(t, b, "in", 1, 20, "b")
+
+	job := &JobSpec{
+		Name:            "reported",
+		Inputs:          []StreamSpec{{Topic: "in"}},
+		TaskFactory:     func() StreamTask { return &passthroughTask{out: "out"} },
+		CommitEvery:     10,
+		MetricsInterval: 5 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rj, err := runner.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return rj.MetricsSnapshot().Counters["messages-processed"] >= 50
+	}, "all messages processed")
+	// Let at least one interval tick fire before the final flush.
+	time.Sleep(15 * time.Millisecond)
+	rj.Stop()
+
+	tailer, err := NewMetricsTailer(b, DefaultMetricsTopic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tailer.Close()
+	tctx, tcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer tcancel()
+	var snaps []*MetricsSnapshotMessage
+	for len(snaps) < 2 {
+		batch, err := tailer.Poll(tctx, 128)
+		if err != nil {
+			t.Fatalf("tailer poll after %d snapshots: %v", len(snaps), err)
+		}
+		snaps = append(snaps, batch...)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("want >= 2 published snapshots, got %d", len(snaps))
+	}
+	for i, s := range snaps {
+		if s.Job != "reported" {
+			t.Fatalf("snapshot %d from unexpected job %q", i, s.Job)
+		}
+		if s.Seq < 1 {
+			t.Fatalf("snapshot %d has seq %d", i, s.Seq)
+		}
+	}
+	// The last snapshot is the final flush: complete end-of-run metrics.
+	last := snaps[len(snaps)-1]
+	if got := last.Metrics.Counters["messages-processed"]; got != 50 {
+		t.Fatalf("final snapshot messages-processed = %d, want 50", got)
+	}
+	for _, task := range []string{"Partition-0", "Partition-1"} {
+		h, ok := last.Metrics.Histograms["task."+task+".process-ns"]
+		if !ok {
+			t.Fatalf("final snapshot missing task %s process-latency histogram; have %v",
+				task, last.Metrics.Histograms)
+		}
+		if h.Count == 0 || h.P50 <= 0 || h.P99 < h.P50 {
+			t.Fatalf("task %s latency histogram implausible: %+v", task, h)
+		}
+	}
+	for _, g := range []string{"kafka.lag.in.0", "kafka.lag.in.1"} {
+		lag, ok := last.Metrics.Gauges[g]
+		if !ok {
+			t.Fatalf("final snapshot missing lag gauge %s; have %v", g, last.Metrics.Gauges)
+		}
+		if lag != 0 {
+			t.Fatalf("caught-up job reports lag %d on %s", lag, g)
+		}
+	}
+}

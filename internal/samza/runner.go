@@ -19,6 +19,9 @@ type JobRunner struct {
 	Cluster *yarn.Cluster
 	// Resource is the per-container resource request.
 	Resource yarn.Resource
+
+	mu   sync.Mutex
+	jobs []*RunningJob
 }
 
 // NewJobRunner builds a runner over the broker and cluster.
@@ -87,7 +90,20 @@ func (r *JobRunner) Submit(ctx context.Context, job *JobSpec) (*RunningJob, erro
 		return nil, fmt.Errorf("samza: submitting job %q: %w", job.Name, err)
 	}
 	rj.app = app
+	r.mu.Lock()
+	r.jobs = append(r.jobs, rj)
+	r.mu.Unlock()
 	return rj, nil
+}
+
+// Jobs lists every job this runner has submitted (including stopped ones),
+// for the introspection endpoints.
+func (r *JobRunner) Jobs() []*RunningJob {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*RunningJob, len(r.jobs))
+	copy(out, r.jobs)
+	return out
 }
 
 // Stop cancels all containers and waits for them to exit.
@@ -102,19 +118,44 @@ func (j *RunningJob) Wait() []yarn.ContainerStatus {
 	return j.app.Wait()
 }
 
-// MetricsSnapshot merges all container metric registries, summing values
-// across containers (the per-job totals the paper's harness multiplies out,
-// §5.1).
-func (j *RunningJob) MetricsSnapshot() map[string]int64 {
+// MetricsSnapshot merges all container metric registries: counters and
+// gauges sum across containers (the per-job totals the paper's harness
+// multiplies out, §5.1); histograms merge count-weighted.
+func (j *RunningJob) MetricsSnapshot() metrics.Snapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	out := map[string]int64{}
+	out := metrics.NewSnapshot()
 	for _, c := range j.containers {
-		for name, v := range c.Metrics.Snapshot() {
-			out[name] += v
+		out.Merge(c.Metrics.Snapshot())
+	}
+	return out
+}
+
+// TaskHealth merges per-task liveness across containers. Later container
+// attempts overwrite earlier ones for the same task name, so a restarted
+// task reports its current attempt's state.
+func (j *RunningJob) TaskHealth() map[string]string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := map[string]string{}
+	for _, c := range j.containers {
+		for name, state := range c.TaskHealth() {
+			out[name] = state
 		}
 	}
 	return out
+}
+
+// UpdateLags refreshes consumer-lag gauges on every container and returns
+// the job-wide total outstanding messages.
+func (j *RunningJob) UpdateLags() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var total int64
+	for _, c := range j.containers {
+		total += c.UpdateLags()
+	}
+	return total
 }
 
 // ContainerMetrics returns each live container attempt's registry.

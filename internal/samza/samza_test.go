@@ -225,7 +225,7 @@ func TestEndToEndPassthrough(t *testing.T) {
 		}
 	}
 	snap := rj.MetricsSnapshot()
-	if snap["messages-processed"] != 100 || snap["messages-sent"] != 100 {
+	if snap.Counters["messages-processed"] != 100 || snap.Counters["messages-sent"] != 100 {
 		t.Fatalf("metrics %v", snap)
 	}
 }

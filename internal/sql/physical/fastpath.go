@@ -1,7 +1,10 @@
 package physical
 
 import (
+	"time"
+
 	"samzasql/internal/avro"
+	"samzasql/internal/metrics"
 	"samzasql/internal/operators"
 	"samzasql/internal/sql/catalog"
 	"samzasql/internal/sql/expr"
@@ -41,6 +44,38 @@ type fastProgram struct {
 	scratch []any
 	topic   string
 	target  string
+
+	// Observability handles for the fused stage, bound by fastBinder at
+	// Router.Open (nil without a metrics registry). The whole fused
+	// scan/filter/project/insert chain reports as one "fastpath" operator.
+	lat      *metrics.Histogram
+	out      *metrics.Counter
+	bytesIn  *metrics.Counter
+	bytesOut *metrics.Counter
+}
+
+// fastBinder registers the fused handler with the router purely for the
+// Open lifecycle, so its metric handles bind from the task's registry like
+// any other operator's.
+type fastBinder struct {
+	fp *fastProgram
+}
+
+// Open implements operators.Operator.
+func (b *fastBinder) Open(ctx *operators.OpContext) error {
+	if ctx.Metrics != nil {
+		b.fp.lat = ctx.Metrics.Histogram("operator.fastpath.process-ns")
+		b.fp.out = ctx.Metrics.Counter("operator.fastpath.out")
+		b.fp.bytesIn = ctx.Metrics.Counter(operators.SerdeBytesInMetric)
+		b.fp.bytesOut = ctx.Metrics.Counter(operators.SerdeBytesOutMetric)
+	}
+	return nil
+}
+
+// Process implements operators.Operator; the fused path never routes tuples
+// through it.
+func (b *fastBinder) Process(_ int, t *operators.Tuple, emit operators.Emit) error {
+	return emit(t)
 }
 
 // tryFastPath recognizes Project(Filter?(Scan)) shapes whose projections
@@ -131,6 +166,7 @@ func (p *Program) tryFastPath(body plan.Node, target string) (bool, error) {
 	}
 
 	p.fast = fp
+	p.Router.Register(&fastBinder{fp: fp})
 	p.Inputs = []*Input{{
 		Topic: scan.Object.Topic,
 		Scan:  &operators.ScanOp{Codec: codec, TsIdx: tsIdxOf(scan.Object), Stream: scan.Object.Topic},
@@ -149,8 +185,14 @@ func tsIdxOf(o *catalog.Object) int {
 	return o.Row.Index(o.TimestampCol)
 }
 
-// handle processes one raw message through the fused path.
+// handle processes one raw message through the fused path. Metric handles
+// are pre-bound and the timing is two monotonic clock reads plus lock-free
+// atomics, keeping the fused path at 0 allocs/op with instrumentation on.
 func (f *fastProgram) handle(value, key []byte, ts int64, partition int32) error {
+	start := time.Now()
+	if f.bytesIn != nil {
+		f.bytesIn.Add(int64(len(value)))
+	}
 	if f.cond != nil {
 		row, err := f.codec.ReadFields(value, f.wanted, f.scratch)
 		if err != nil {
@@ -161,6 +203,9 @@ func (f *fastProgram) handle(value, key []byte, ts int64, partition int32) error
 			return err
 		}
 		if b, ok := v.(bool); !ok || !b {
+			if f.lat != nil {
+				f.lat.Observe(time.Since(start).Nanoseconds())
+			}
 			return nil
 		}
 	}
@@ -172,7 +217,15 @@ func (f *fastProgram) handle(value, key []byte, ts int64, partition int32) error
 			return err
 		}
 	}
-	return f.send(f.target, partition, key, out, ts)
+	err := f.send(f.target, partition, key, out, ts)
+	if err == nil && f.out != nil {
+		f.out.Inc()
+		f.bytesOut.Add(int64(len(out)))
+	}
+	if f.lat != nil {
+		f.lat.Observe(time.Since(start).Nanoseconds())
+	}
+	return err
 }
 
 // walkCols visits the column references of a bound expression.

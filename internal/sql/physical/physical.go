@@ -51,6 +51,27 @@ type Program struct {
 	// fast is non-nil when the plan compiled to the fused fast path (§7's
 	// proposed SamzaSQL-specific code generation; see fastpath.go).
 	fast *fastProgram
+	// stageSeq numbers repeated operator kinds during compilation so every
+	// instrumented stage gets a unique metric name.
+	stageSeq map[string]int
+}
+
+// instrument wraps op for per-operator latency/output metrics and registers
+// the wrapper with the router (the wrapper forwards Open to op). The first
+// stage of a kind is named after the kind; repeats get "#n" suffixes.
+func (p *Program) instrument(kind string, op operators.Operator) *operators.Instrumented {
+	if p.stageSeq == nil {
+		p.stageSeq = map[string]int{}
+	}
+	n := p.stageSeq[kind]
+	p.stageSeq[kind]++
+	name := kind
+	if n > 0 {
+		name = fmt.Sprintf("%s#%d", kind, n)
+	}
+	inst := operators.NewInstrumented(name, op)
+	p.Router.Register(inst)
+	return inst
 }
 
 // FastPath reports whether the program uses the fused fast path.
@@ -119,10 +140,12 @@ func CompileWithOptions(root plan.Node, defaultOutput string, opts Options) (*Pr
 	prog.OutputRow = outRow
 	prog.OutputCodec = outCodec
 	prog.insert = &operators.InsertOp{Codec: outCodec, Target: target}
-	prog.Router.Register(prog.insert)
-
+	insInst := prog.instrument("insert", prog.insert)
+	// The insert op invokes emit per sent message, so the counting emit
+	// built here gives "operator.insert.out" = messages actually produced.
+	insEmit := insInst.WrapEmit(func(*operators.Tuple) error { return nil })
 	sink := func(t *operators.Tuple) error {
-		return prog.insert.Process(0, t, nil)
+		return insInst.Process(0, t, insEmit)
 	}
 	if err := prog.build(body, sink); err != nil {
 		return nil, err
@@ -146,9 +169,10 @@ func (p *Program) build(n plan.Node, downstream operators.Emit) error {
 		if err != nil {
 			return err
 		}
-		p.Router.Register(op)
+		inst := p.instrument("filter", op)
+		emitTo := inst.WrapEmit(downstream)
 		return p.build(t.Input, func(tp *operators.Tuple) error {
-			return op.Process(0, tp, downstream)
+			return inst.Process(0, tp, emitTo)
 		})
 	case *plan.Project:
 		tsIdx := -1
@@ -162,31 +186,36 @@ func (p *Program) build(n plan.Node, downstream operators.Emit) error {
 		if err != nil {
 			return err
 		}
-		p.Router.Register(op)
+		inst := p.instrument("project", op)
+		emitTo := inst.WrapEmit(downstream)
 		return p.build(t.Input, func(tp *operators.Tuple) error {
-			return op.Process(0, tp, downstream)
+			return inst.Process(0, tp, emitTo)
 		})
 	case *plan.Aggregate:
 		op, err := operators.NewStreamAggregateOp(t.Keys, t.Window, t.Aggs)
 		if err != nil {
 			return err
 		}
+		inst := p.instrument("aggregate", op)
+		emitTo := inst.WrapEmit(downstream)
 		p.aggregate = op
-		p.aggDownstream = downstream
-		p.Router.Register(op)
+		// Flushes go through the counting emit too, so final-window rows
+		// show up in "operator.aggregate.out".
+		p.aggDownstream = emitTo
 		p.addStore(operators.AggStoreName)
 		return p.build(t.Input, func(tp *operators.Tuple) error {
-			return op.Process(0, tp, downstream)
+			return inst.Process(0, tp, emitTo)
 		})
 	case *plan.Analytic:
 		op, err := operators.NewSlidingWindowOp(t.Calls)
 		if err != nil {
 			return err
 		}
-		p.Router.Register(op)
+		inst := p.instrument("sliding-window", op)
+		emitTo := inst.WrapEmit(downstream)
 		p.addStore(operators.SlidingStoreName)
 		return p.build(t.Input, func(tp *operators.Tuple) error {
-			return op.Process(0, tp, downstream)
+			return inst.Process(0, tp, emitTo)
 		})
 	case *plan.Join:
 		return p.buildJoin(t, downstream)
@@ -258,13 +287,14 @@ func (p *Program) buildJoin(j *plan.Join, downstream operators.Emit) error {
 		if err != nil {
 			return err
 		}
-		p.Router.Register(op)
+		inst := p.instrument("stream-relation-join", op)
+		emitTo := inst.WrapEmit(downstream)
 		// Stream side feeds LeftSide, relation changelog feeds RightSide.
 		streamEmit := func(t *operators.Tuple) error {
-			return op.Process(operators.LeftSide, t, downstream)
+			return inst.Process(operators.LeftSide, t, emitTo)
 		}
 		relEmit := func(t *operators.Tuple) error {
-			return op.Process(operators.RightSide, t, downstream)
+			return inst.Process(operators.RightSide, t, emitTo)
 		}
 		if streamIsLeft {
 			if err := p.build(j.Left, streamEmit); err != nil {
@@ -281,14 +311,15 @@ func (p *Program) buildJoin(j *plan.Join, downstream operators.Emit) error {
 		if err != nil {
 			return err
 		}
-		p.Router.Register(op)
+		inst := p.instrument("stream-stream-join", op)
+		emitTo := inst.WrapEmit(downstream)
 		if err := p.build(j.Left, func(t *operators.Tuple) error {
-			return op.Process(operators.LeftSide, t, downstream)
+			return inst.Process(operators.LeftSide, t, emitTo)
 		}); err != nil {
 			return err
 		}
 		return p.build(j.Right, func(t *operators.Tuple) error {
-			return op.Process(operators.RightSide, t, downstream)
+			return inst.Process(operators.RightSide, t, emitTo)
 		})
 	}
 }
