@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-figures profile
+.PHONY: build test vet race verify ci bench bench-figures profile
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,27 @@ race:
 # The PR gate: static checks plus the race-enabled test run.
 verify: vet race
 
-# Quick container/hot-path benchmarks added for the task-parallelism work.
+# What the GitHub Actions workflow runs: formatting, build, static checks,
+# then the full test tree under the race detector.
+ci: build
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Messages per figure run for the JSON report (small enough to keep `make
+# bench` in the minutes range; raise for publication-quality numbers).
+BENCH_MESSAGES ?= 50000
+
+# Quick container/hot-path benchmarks plus the machine-readable figure
+# report: regenerates every paper figure and the sliding-window store-tuning
+# comparison into BENCH_results.json (per-figure rows/sec, operator p95/p99,
+# cached-vs-baseline speedup).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkContainerParallelism|BenchmarkTaskLoopMachineryAllocs' -benchmem ./internal/samza/
 	$(GO) test -run '^$$' -bench 'BenchmarkFilterMessageProcess' -benchmem ./internal/executor/
+	$(GO) test -run '^$$' -bench '^BenchmarkSlidingWindow$$' -benchmem .
+	$(GO) run ./cmd/samzasql-bench -figure all -messages $(BENCH_MESSAGES) -json BENCH_results.json
 
 # Full paper-figure regeneration (slow; see also cmd/samzasql-bench).
 bench-figures:

@@ -289,6 +289,35 @@ func BenchmarkAblationWindowStore(b *testing.B) {
 	b.ReportMetric(float64(reads+writes)/float64(b.N), "store-ops/tuple")
 }
 
+// --- Sliding-window state-store layer: cached+batched vs. write-through ---
+//
+// Drives the SQL sliding-window operator (Algorithm 1) over the full store
+// stack — skiplist, changelog mirror, instrumentation, optional LRU object
+// cache — flushing every commit interval as the container does. The
+// "cached-batched" variant must sustain at least 2x the throughput of the
+// paper-faithful "uncached" baseline; `samzasql-bench -figure state -json`
+// records the same comparison in BENCH_results.json.
+
+func benchSlidingWindowStore(b *testing.B, cacheSize, batchSize int) {
+	cfg := bench.DefaultWindowStoreConfig()
+	cfg.Tuples = b.N
+	cfg.StoreCacheSize = cacheSize
+	cfg.WriteBatchSize = batchSize
+	res, err := bench.RunWindowStore(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.Throughput, "tuples/sec")
+	b.ReportMetric(float64(res.ChangelogRecords)/float64(b.N), "changelog-recs/tuple")
+}
+
+func BenchmarkSlidingWindow(b *testing.B) {
+	b.Run("uncached", func(b *testing.B) { benchSlidingWindowStore(b, 0, 0) })
+	b.Run("cached-batched", func(b *testing.B) {
+		benchSlidingWindowStore(b, 1024, kv.DefaultWriteBatchSize)
+	})
+}
+
 // --- Ablation 5 (DESIGN.md §4.5): partition-count scaling ---
 //
 // The paper's sublinear container scaling comes from fewer partitions per

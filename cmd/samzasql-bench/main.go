@@ -6,6 +6,8 @@
 //	samzasql-bench -figure all -messages 200000
 //	samzasql-bench -figure 5c -containers 1,2,4,8
 //	samzasql-bench -figure loc
+//	samzasql-bench -figure state                 # store-tuning comparison
+//	samzasql-bench -figure all -json BENCH_results.json
 package main
 
 import (
@@ -20,7 +22,7 @@ import (
 
 func main() {
 	var (
-		figure     = flag.String("figure", "all", "figure to regenerate: 5a, 5b, 5c, 6, loc or all")
+		figure     = flag.String("figure", "all", "figure to regenerate: 5a, 5b, 5c, 6, state, loc or all")
 		messages   = flag.Int("messages", 200_000, "orders messages per run")
 		partitions = flag.Int("partitions", 32, "partitions per topic (paper: 32)")
 		products   = flag.Int("products", 100, "products relation cardinality")
@@ -29,6 +31,9 @@ func main() {
 		check      = flag.Bool("check", false, "verify the measured shape matches the paper and exit non-zero otherwise")
 		mAddr      = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address during runs (e.g. 127.0.0.1:8642)")
 		mInterval  = flag.Duration("metrics-interval", 0, "enable the per-container metrics snapshot reporter at this period (e.g. 500ms) and print per-operator latency tables")
+		storeCache = flag.Int("store-cache", 0, "wrap every task store in an LRU object cache of this many entries (0 = paper-faithful per-tuple store path)")
+		writeBatch = flag.Int("write-batch", 0, "batch store/changelog writes until commit, capped at this many dirty keys (0 = write-through mirroring)")
+		jsonPath   = flag.String("json", "", "also write the measured series as machine-readable JSON to this path (e.g. BENCH_results.json)")
 	)
 	flag.Parse()
 
@@ -42,6 +47,11 @@ func main() {
 	cfg.TaskParallelism = *taskPar
 	cfg.MetricsAddr = *mAddr
 	cfg.MetricsInterval = *mInterval
+	if *storeCache < 0 {
+		fatalf("bad -store-cache value %d", *storeCache)
+	}
+	cfg.StoreCacheSize = *storeCache
+	cfg.WriteBatchSize = *writeBatch
 
 	var sweep []int
 	if *containers != "" {
@@ -54,6 +64,7 @@ func main() {
 		}
 	}
 
+	report := &bench.Report{Messages: cfg.Messages, Partitions: cfg.Partitions}
 	failed := false
 	runOne := func(spec bench.FigureSpec) {
 		if len(sweep) > 0 {
@@ -69,6 +80,7 @@ func main() {
 				fmt.Println(tbl)
 			}
 		}
+		report.Figures = append(report.Figures, bench.ReportFigure(spec, rows))
 		if *check {
 			for _, v := range bench.CheckShape(spec, rows) {
 				fmt.Fprintf(os.Stderr, "SHAPE MISMATCH (figure %s): %s\n", spec.ID, v)
@@ -76,21 +88,40 @@ func main() {
 			}
 		}
 	}
+	// runStoreTuning measures the sliding-window store micro comparison
+	// (cache+batch on vs. off) behind the "state" figure.
+	runStoreTuning := func() {
+		cmp, err := bench.RunStoreTuning(cfg.Messages, *storeCache, *writeBatch)
+		if err != nil {
+			fatalf("store tuning: %v", err)
+		}
+		fmt.Println(bench.FormatStoreTuning(cmp))
+		report.StoreTuning = &cmp
+	}
 
 	switch *figure {
 	case "all":
 		for _, spec := range bench.Figures {
 			runOne(spec)
 		}
+		runStoreTuning()
 		printLOC()
+	case "state":
+		runStoreTuning()
 	case "loc":
 		printLOC()
 	default:
 		spec, ok := bench.FigureByID(*figure)
 		if !ok {
-			fatalf("unknown figure %q (want 5a, 5b, 5c, 6, loc or all)", *figure)
+			fatalf("unknown figure %q (want 5a, 5b, 5c, 6, state, loc or all)", *figure)
 		}
 		runOne(spec)
+	}
+	if *jsonPath != "" {
+		if err := report.WriteJSON(*jsonPath); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 	if failed {
 		os.Exit(1)

@@ -35,6 +35,8 @@ func main() {
 		demoOrders = flag.Int("demo-orders", 10_000, "demo Orders records")
 		streamRows = flag.Int("stream-rows", 20, "rows to tail from a streaming query before stopping it")
 		partitions = flag.Int("partitions", 4, "partitions for demo topics")
+		storeCache = flag.Int("store-cache", 0, "wrap task stores of submitted jobs in an LRU object cache of this many entries (0 = per-tuple store path)")
+		writeBatch = flag.Int("write-batch", 0, "batch store/changelog writes until commit, capped at this many dirty keys (0 = write-through mirroring)")
 	)
 	flag.Parse()
 
@@ -45,6 +47,11 @@ func main() {
 	cat := catalog.New()
 	engine := executor.NewEngine(cat, broker, samza.NewJobRunner(broker, cluster), zk.NewStore())
 	engine.Containers = 2
+	if *storeCache < 0 {
+		fatalf("bad -store-cache value %d", *storeCache)
+	}
+	engine.StoreCacheSize = *storeCache
+	engine.WriteBatchSize = *writeBatch
 
 	if *modelPath != "" {
 		doc, err := os.ReadFile(*modelPath)

@@ -73,7 +73,7 @@ func (r *repartitionJobs) ensure(ctx context.Context, e *Engine, spec *physical.
 		TaskParallelism: e.TaskParallelism,
 		CommitEvery:     1000,
 		MaxRestarts:     2,
-		Config:      map[string]string{},
+		Config:          map[string]string{},
 		TaskFactory: func() samza.StreamTask {
 			return &RepartitionTask{Spec: spec}
 		},

@@ -1,0 +1,143 @@
+package kafka
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestProduceBatchAssignsContiguousOffsets(t *testing.T) {
+	b := NewBroker()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 2})
+	msgs := make([]Message, 10)
+	for i := range msgs {
+		msgs[i] = Message{Partition: 1, Key: []byte("k"), Value: []byte(fmt.Sprintf("v%d", i))}
+	}
+	if err := b.ProduceBatch("t", msgs); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range msgs {
+		if m.Offset != int64(i) || m.Partition != 1 || m.Topic != "t" {
+			t.Fatalf("msg %d assigned %s-%d@%d", i, m.Topic, m.Partition, m.Offset)
+		}
+	}
+	got, _, err := b.Fetch(TopicPartition{Topic: "t", Partition: 1}, 0, 100)
+	if err != nil || len(got) != 10 {
+		t.Fatalf("fetch after batch: %d msgs, %v", len(got), err)
+	}
+	for i, m := range got {
+		if string(m.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("msg %d value %q", i, m.Value)
+		}
+	}
+}
+
+func TestProduceBatchHashPartitioning(t *testing.T) {
+	b := NewBroker()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 8})
+	msgs := []Message{
+		{Partition: -1, Key: []byte("key-a"), Value: []byte("1")},
+		{Partition: -1, Key: []byte("key-a"), Value: []byte("2")},
+		{Partition: -1, Key: []byte("key-b"), Value: []byte("3")},
+	}
+	if err := b.ProduceBatch("t", msgs); err != nil {
+		t.Fatal(err)
+	}
+	wantA := PartitionForKey([]byte("key-a"), 8)
+	wantB := PartitionForKey([]byte("key-b"), 8)
+	if msgs[0].Partition != wantA || msgs[1].Partition != wantA || msgs[2].Partition != wantB {
+		t.Fatalf("partitions %d %d %d, want %d %d %d",
+			msgs[0].Partition, msgs[1].Partition, msgs[2].Partition, wantA, wantA, wantB)
+	}
+	if msgs[0].Offset != 0 || msgs[1].Offset != 1 {
+		t.Fatalf("same-key offsets %d %d", msgs[0].Offset, msgs[1].Offset)
+	}
+}
+
+func TestProduceBatchErrors(t *testing.T) {
+	b := NewBroker()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 2})
+	if err := b.ProduceBatch("missing", []Message{{Partition: 0}}); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("missing topic: %v", err)
+	}
+	if err := b.ProduceBatch("t", []Message{{Partition: 7}}); !errors.Is(err, ErrUnknownPartition) {
+		t.Fatalf("bad partition: %v", err)
+	}
+	if err := b.ProduceBatch("t", nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestProduceBatchCoalescedWakeup verifies a batch signals a persistent
+// subscriber once (coalesced), not once per record — the synchronization
+// saving the changelog flush path depends on.
+func TestProduceBatchCoalescedWakeup(t *testing.T) {
+	b := NewBroker()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 1})
+	tp := TopicPartition{Topic: "t", Partition: 0}
+	ch := make(chan struct{}, 16)
+	if err := b.Subscribe(tp, ch); err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([]Message, 64)
+	for i := range msgs {
+		msgs[i] = Message{Partition: 0, Value: []byte("v")}
+	}
+	if err := b.ProduceBatch("t", msgs); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(ch); n != 1 {
+		t.Fatalf("batch produced %d subscriber signals, want 1", n)
+	}
+}
+
+// TestProduceBatchSegmentRollAndCompaction drives a batch large enough to
+// roll segments on a compacted topic and checks the latest value per key
+// survives a forced compaction pass.
+func TestProduceBatchSegmentRollAndCompaction(t *testing.T) {
+	b := NewBroker()
+	mustCreate(t, b, "cl", TopicConfig{Partitions: 1, Compacted: true, SegmentBytes: 512})
+	const rounds, keys = 40, 5
+	for r := 0; r < rounds; r++ {
+		msgs := make([]Message, keys)
+		for k := 0; k < keys; k++ {
+			msgs[k] = Message{
+				Partition: 0,
+				Key:       []byte(fmt.Sprintf("k%d", k)),
+				Value:     []byte(fmt.Sprintf("r%03dk%d-padding-padding-padding", r, k)),
+			}
+		}
+		if err := b.ProduceBatch("cl", msgs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Compact("cl"); err != nil {
+		t.Fatal(err)
+	}
+	tp := TopicPartition{Topic: "cl", Partition: 0}
+	start, _ := b.StartOffset(tp)
+	hwm, _ := b.HighWatermark(tp)
+	if hwm != rounds*keys {
+		t.Fatalf("hwm %d, want %d", hwm, rounds*keys)
+	}
+	latest := map[string]string{}
+	for off := start; off < hwm; {
+		msgs, wait, err := b.Fetch(tp, off, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wait != nil {
+			break
+		}
+		for _, m := range msgs {
+			latest[string(m.Key)] = string(m.Value)
+		}
+		off = msgs[len(msgs)-1].Offset + 1
+	}
+	for k := 0; k < keys; k++ {
+		want := fmt.Sprintf("r%03dk%d-padding-padding-padding", rounds-1, k)
+		if got := latest[fmt.Sprintf("k%d", k)]; got != want {
+			t.Fatalf("k%d latest %q, want %q", k, got, want)
+		}
+	}
+}

@@ -160,6 +160,60 @@ func (b *Broker) Produce(topicName string, m Message) (int64, error) {
 	return off, nil
 }
 
+// ProduceBatch appends msgs to topicName, resolving each message's
+// partition exactly as Produce does. Runs of consecutive messages bound for
+// the same partition are appended under one partition lock acquisition with
+// one subscriber wakeup, so an N-record flush (a changelog commit batch)
+// costs the synchronization of a single append. Assigned Topic/Partition/
+// Offset fields are written back into msgs; the broker retains the key and
+// value slices, so callers must not mutate them afterwards.
+func (b *Broker) ProduceBatch(topicName string, msgs []Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	b.mu.RLock()
+	t, ok := b.topics[topicName]
+	b.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTopic, topicName)
+	}
+	n := int32(len(t.partitions))
+	resolve := func(m *Message) (int32, error) {
+		part := m.Partition
+		if part < 0 {
+			part = PartitionForKey(m.Key, n)
+		}
+		if part >= n {
+			return 0, fmt.Errorf("%w: %s-%d", ErrUnknownPartition, topicName, part)
+		}
+		return part, nil
+	}
+	for i := 0; i < len(msgs); {
+		part, err := resolve(&msgs[i])
+		if err != nil {
+			return err
+		}
+		j := i + 1
+		for j < len(msgs) {
+			next, err := resolve(&msgs[j])
+			if err != nil {
+				return err
+			}
+			if next != part {
+				break
+			}
+			j++
+		}
+		p := t.partitions[part]
+		p.appendBatch(msgs[i:j])
+		if t.config.Compacted && p.closedSegmentCount() >= b.compactEvery {
+			p.compact()
+		}
+		i = j
+	}
+	return nil
+}
+
 // PartitionForKey returns the partition Kafka's default partitioner would
 // choose for key over n partitions: FNV-1a hash mod n, partition 0 for nil.
 func PartitionForKey(key []byte, n int32) int32 {

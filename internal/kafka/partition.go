@@ -61,7 +61,7 @@ func (p *partition) append(m Message) int64 {
 	p.mu.Lock()
 	active := p.segments[len(p.segments)-1]
 	if active.sizeBytes >= p.maxSegmentBytes {
-		active = newSegment(active.nextOffset())
+		active = newSegmentLike(active)
 		p.segments = append(p.segments, active)
 	}
 	m.Topic = p.topic
@@ -88,6 +88,44 @@ func (p *partition) append(m Message) int64 {
 		}
 	}
 	return offset
+}
+
+// appendBatch assigns consecutive offsets to msgs (mutating their
+// Topic/Partition/Offset fields in place), stores them, wakes blocked
+// fetchers and applies retention — all under one lock acquisition with one
+// coalesced subscriber signal, so an N-record changelog flush costs the same
+// synchronization as a single append.
+func (p *partition) appendBatch(msgs []Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	p.mu.Lock()
+	for i := range msgs {
+		active := p.segments[len(p.segments)-1]
+		if active.sizeBytes >= p.maxSegmentBytes {
+			active = newSegmentLike(active)
+			p.segments = append(p.segments, active)
+		}
+		msgs[i].Topic = p.topic
+		msgs[i].Partition = p.id
+		msgs[i].Offset = active.nextOffset()
+		active.append(msgs[i])
+	}
+	waiters := p.waiters
+	p.waiters = nil
+	subs := p.subs
+	p.applyRetentionLocked()
+	p.mu.Unlock()
+
+	for _, w := range waiters {
+		close(w)
+	}
+	for _, s := range subs {
+		select {
+		case s <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // subscribe registers a persistent notification channel signalled on every
@@ -214,21 +252,55 @@ func (p *partition) compact() {
 	closed := p.segments[:len(p.segments)-1]
 	active := p.segments[len(p.segments)-1]
 
-	// Latest offset per key across the whole partition, including the
-	// active segment, so records superseded by active-segment writes drop.
-	latest := make(map[string]int64)
-	for _, s := range p.segments {
+	// The survivor of the previous compaction leads the segment chain and is
+	// clean: unique keys, no tombstones. Its records only drop when a newer
+	// dirty record overrides them, so it contributes membership lookups below
+	// but never map inserts — compaction cost tracks new data, not live size.
+	dirty := p.segments
+	var clean *segment
+	if closed[0].clean {
+		clean = closed[0]
+		dirty = p.segments[1:]
+	}
+
+	// Latest offset per key across the dirty segments, including the active
+	// one, so records superseded by active-segment writes drop. Sized up
+	// front: growing the map incrementally would rehash every doubling.
+	n := 0
+	for _, s := range dirty {
+		n += len(s.records)
+	}
+	latest := make(map[string]int64, n)
+	for _, s := range dirty {
 		for _, m := range s.records {
 			latest[string(m.Key)] = m.Offset
 		}
 	}
 
+	capHint := 0
+	for _, s := range closed {
+		capHint += len(s.records)
+	}
 	merged := &segment{
 		baseOffset:  closed[0].baseOffset,
 		upperOffset: active.baseOffset,
+		records:     make([]Message, 0, capHint),
 		dense:       false,
+		clean:       true,
+	}
+	if clean != nil {
+		for _, m := range clean.records {
+			if _, overridden := latest[string(m.Key)]; overridden {
+				continue
+			}
+			merged.records = append(merged.records, m)
+			merged.sizeBytes += m.Size()
+		}
 	}
 	for _, s := range closed {
+		if s == clean {
+			continue
+		}
 		for _, m := range s.records {
 			if latest[string(m.Key)] != m.Offset {
 				continue

@@ -22,6 +22,14 @@ func (p *Producer) Send(key, value []byte, timestamp int64) (int64, error) {
 	})
 }
 
+// SendBatch appends msgs in one broker call: runs of messages bound for the
+// same partition share a lock acquisition and subscriber wakeup. Partition
+// resolution matches Send/SendTo (negative Partition = key hash). Assigned
+// offsets are written back into msgs.
+func (p *Producer) SendBatch(msgs []Message) error {
+	return p.broker.ProduceBatch(p.topic, msgs)
+}
+
 // SendTo appends a message to an explicit partition and returns its offset.
 func (p *Producer) SendTo(part int32, key, value []byte, timestamp int64) (int64, error) {
 	return p.broker.Produce(p.topic, Message{

@@ -12,10 +12,23 @@ type segment struct {
 	records     []Message
 	sizeBytes   int
 	dense       bool // records are contiguous: offset = base + index
+	clean       bool // compaction survivor: unique keys, no tombstones
 }
 
 func newSegment(base int64) *segment {
 	return &segment{baseOffset: base, upperOffset: base, dense: true}
+}
+
+// newSegmentLike rolls a fresh active segment once prev fills, pre-sizing the
+// record slice to prev's count: segments roll at a byte bound, so the
+// previous segment's record count predicts the next one's and steady-state
+// appends allocate once per segment instead of doubling through growth.
+func newSegmentLike(prev *segment) *segment {
+	s := newSegment(prev.nextOffset())
+	if n := len(prev.records); n > 0 {
+		s.records = make([]Message, 0, n)
+	}
+	return s
 }
 
 // append adds a record, which must already carry its final offset equal to

@@ -1,0 +1,463 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"samzasql/internal/kafka"
+	"samzasql/internal/metrics"
+)
+
+func TestCachedStoreReadThroughAndHitCounters(t *testing.T) {
+	inner := NewStore()
+	inner.Put([]byte("a"), []byte("1"))
+	c := NewCachedStore(inner, 8, 0)
+	reg := metrics.NewRegistry()
+	c.BindMetrics(reg, "s")
+
+	v, ok := c.Get([]byte("a")) // miss: falls through and caches
+	if !ok || string(v) != "1" {
+		t.Fatalf("read-through: %q %v", v, ok)
+	}
+	for i := 0; i < 3; i++ {
+		if v, ok = c.Get([]byte("a")); !ok || string(v) != "1" {
+			t.Fatalf("cached read %d: %q %v", i, v, ok)
+		}
+	}
+	if _, ok = c.Get([]byte("nope")); ok {
+		t.Fatal("phantom key")
+	}
+	if _, ok = c.Get([]byte("nope")); ok { // negative entry must hold
+		t.Fatal("phantom key on negative-cached read")
+	}
+	hits := reg.Counter("store.s.cache.hits").Value()
+	misses := reg.Counter("store.s.cache.misses").Value()
+	if hits != 4 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 4/2", hits, misses)
+	}
+	// The negative read and the three repeats never touched the inner store.
+	reads, _ := inner.Stats()
+	if reads != 2 {
+		t.Fatalf("inner reads = %d, want 2", reads)
+	}
+}
+
+func TestCachedStoreWriteBatchDedup(t *testing.T) {
+	inner := NewStore()
+	c := NewCachedStore(inner, 8, 100)
+	for i := 0; i < 50; i++ {
+		c.Put([]byte("hot"), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if _, writes := inner.Stats(); writes != 0 {
+		t.Fatalf("writes leaked before flush: %d", writes)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, writes := inner.Stats(); writes != 1 {
+		t.Fatalf("50 puts flushed as %d inner writes, want 1", writes)
+	}
+	v, ok := inner.Get([]byte("hot"))
+	if !ok || string(v) != "v49" {
+		t.Fatalf("inner sees %q %v, want v49", v, ok)
+	}
+}
+
+func TestCachedStoreAutoFlushAtBatchCap(t *testing.T) {
+	inner := NewStore()
+	c := NewCachedStore(inner, 64, 10)
+	for i := 0; i < 10; i++ {
+		c.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	if _, writes := inner.Stats(); writes != 10 {
+		t.Fatalf("batch cap of 10 flushed %d writes", writes)
+	}
+}
+
+func TestCachedStoreDirtyEvictionWritesThrough(t *testing.T) {
+	inner := NewStore()
+	c := NewCachedStore(inner, 2, 100)
+	reg := metrics.NewRegistry()
+	c.BindMetrics(reg, "s")
+	c.Put([]byte("a"), []byte("1"))
+	c.Put([]byte("b"), []byte("2"))
+	c.Put([]byte("c"), []byte("3")) // evicts "a", which is dirty
+	if v, ok := inner.Get([]byte("a")); !ok || string(v) != "1" {
+		t.Fatalf("evicted dirty entry not written through: %q %v", v, ok)
+	}
+	// A fresh read of the evicted key must see its value, not a stale miss.
+	if v, ok := c.Get([]byte("a")); !ok || string(v) != "1" {
+		t.Fatalf("read after dirty eviction: %q %v", v, ok)
+	}
+	if ev := reg.Counter("store.s.cache.evictions").Value(); ev == 0 {
+		t.Fatal("evictions counter never moved")
+	}
+	if err := c.Flush(); err != nil { // must not re-write the evicted entry twice
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if _, ok := inner.Get([]byte(k)); !ok {
+			t.Fatalf("key %q missing after flush", k)
+		}
+	}
+}
+
+func TestCachedStoreDeleteAndLen(t *testing.T) {
+	inner := NewStore()
+	inner.Put([]byte("a"), []byte("1"))
+	inner.Put([]byte("b"), []byte("2"))
+	c := NewCachedStore(inner, 8, 100)
+	if !c.Delete([]byte("a")) {
+		t.Fatal("delete of present key reported absent")
+	}
+	if c.Delete([]byte("a")) {
+		t.Fatal("second delete reported present")
+	}
+	if _, ok := c.Get([]byte("a")); ok {
+		t.Fatal("buffered tombstone not visible to Get")
+	}
+	if got := c.Len(); got != 1 { // Len writes the batch through first
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	if _, ok := inner.Get([]byte("a")); ok {
+		t.Fatal("tombstone not applied to inner store")
+	}
+	c.Put([]byte("a"), []byte("back"))
+	if v, ok := c.Get([]byte("a")); !ok || string(v) != "back" {
+		t.Fatalf("re-put after tombstone: %q %v", v, ok)
+	}
+}
+
+func TestCachedStoreRangeSeesBufferedWrites(t *testing.T) {
+	inner := NewStore()
+	c := NewCachedStore(inner, 8, 100)
+	c.Put([]byte("a"), []byte("1"))
+	c.Put([]byte("c"), []byte("3"))
+	c.Put([]byte("b"), []byte("2"))
+	c.Delete([]byte("c"))
+	got := c.Range(nil, nil, 0)
+	if len(got) != 2 || string(got[0].Key) != "a" || string(got[1].Key) != "b" {
+		t.Fatalf("range over buffered writes: %v", got)
+	}
+}
+
+func TestCachedStoreObjectPathDefersEncode(t *testing.T) {
+	inner := NewStore()
+	c := NewCachedStore(inner, 8, 100)
+	type state struct{ n int }
+	s := &state{}
+	encodes := 0
+	enc := func(obj any) ([]byte, error) {
+		encodes++
+		return []byte(fmt.Sprintf("n=%d", obj.(*state).n)), nil
+	}
+	key := []byte("s1")
+	for i := 0; i < 1000; i++ {
+		obj, ok := c.GetObject(key)
+		if i == 0 {
+			if ok {
+				t.Fatal("object resident before first put")
+			}
+			obj = s
+		} else if !ok {
+			t.Fatalf("object evicted at iteration %d", i)
+		}
+		obj.(*state).n++
+		c.PutObject(key, obj, enc)
+	}
+	if encodes != 0 {
+		t.Fatalf("encoded %d times before flush, want 0", encodes)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if encodes != 1 {
+		t.Fatalf("encoded %d times at flush, want 1", encodes)
+	}
+	if v, ok := inner.Get(key); !ok || string(v) != "n=1000" {
+		t.Fatalf("inner value %q %v", v, ok)
+	}
+	// Byte-level Get on a flushed deferred entry returns the encoded form.
+	if v, ok := c.Get(key); !ok || string(v) != "n=1000" {
+		t.Fatalf("cached Get after flush: %q %v", v, ok)
+	}
+	// The object stays resident for the next commit interval.
+	if obj, ok := c.GetObject(key); !ok || obj.(*state).n != 1000 {
+		t.Fatalf("object not resident after flush: %v %v", obj, ok)
+	}
+}
+
+func TestCachedStoreCacheObjectMemoizesCleanReads(t *testing.T) {
+	inner := NewStore()
+	inner.Put([]byte("r"), []byte("bytes"))
+	c := NewCachedStore(inner, 8, 100)
+	if _, ok := c.GetObject([]byte("r")); ok {
+		t.Fatal("object resident before CacheObject")
+	}
+	v, ok := c.Get([]byte("r")) // makes the entry resident
+	if !ok || string(v) != "bytes" {
+		t.Fatalf("get: %q %v", v, ok)
+	}
+	c.CacheObject([]byte("r"), "decoded")
+	obj, ok := c.GetObject([]byte("r"))
+	if !ok || obj.(string) != "decoded" {
+		t.Fatalf("memoized object: %v %v", obj, ok)
+	}
+	// CacheObject never dirties: flush must not write anything.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, writes := inner.Stats(); writes != 1 { // only the seed write
+		t.Fatalf("CacheObject caused %d inner writes", writes-1)
+	}
+}
+
+func TestCachedStorePutCopiesValue(t *testing.T) {
+	inner := NewStore()
+	c := NewCachedStore(inner, 8, 100)
+	val := []byte("v")
+	c.Put([]byte("k"), val)
+	val[0] = 'X'
+	if v, _ := c.Get([]byte("k")); string(v) != "v" {
+		t.Fatal("mutating caller's value slice corrupted the cache")
+	}
+}
+
+// TestPropertyCachedStoreMatchesPlain drives identical random operation
+// sequences — puts, deletes, gets, ranges, interleaved flushes — through a
+// cached stack and a plain store and requires identical observable state.
+// Small capacity and batch force constant eviction and write-through.
+func TestPropertyCachedStoreMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	inner := NewStore()
+	c := NewCachedStore(inner, 4, 3)
+	ref := map[string]string{}
+	for i := 0; i < 5000; i++ {
+		k := []byte(fmt.Sprintf("k%02d", rng.Intn(12)))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			v := []byte(fmt.Sprintf("v%d", i))
+			c.Put(k, v)
+			ref[string(k)] = string(v)
+		case 4:
+			gotP := c.Delete(k)
+			_, wantP := ref[string(k)]
+			if gotP != wantP {
+				t.Fatalf("op %d: delete presence %v, want %v", i, gotP, wantP)
+			}
+			delete(ref, string(k))
+		case 5, 6, 7:
+			v, ok := c.Get(k)
+			want, wantOK := ref[string(k)]
+			if ok != wantOK || (ok && string(v) != want) {
+				t.Fatalf("op %d: get %q = %q %v, want %q %v", i, k, v, ok, want, wantOK)
+			}
+		case 8:
+			if len(c.Range(nil, nil, 0)) != len(ref) {
+				t.Fatalf("op %d: range size mismatch", i)
+			}
+		case 9:
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var wantKeys []string
+	for k := range ref {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Strings(wantKeys)
+	got := inner.Range(nil, nil, 0)
+	if len(got) != len(wantKeys) {
+		t.Fatalf("final inner size %d, want %d", len(got), len(wantKeys))
+	}
+	for i, k := range wantKeys {
+		if string(got[i].Key) != k || string(got[i].Value) != ref[k] {
+			t.Fatalf("final key %q = %q, want %q", got[i].Key, got[i].Value, ref[k])
+		}
+	}
+}
+
+// TestCachedChangelogStackFlushOrderAndRestore exercises the full task store
+// stack — CachedStore over Instrument over ChangelogStore — and verifies
+// Flush cascades so a restore reproduces exactly the flushed state.
+func TestCachedChangelogStackFlushOrderAndRestore(t *testing.T) {
+	broker := kafka.NewBroker()
+	cl, err := NewChangelogStore(NewStore(), broker, "stack-cl", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	c := NewCachedStore(Instrument(cl, reg, "st"), 16, 100)
+	for i := 0; i < 200; i++ {
+		c.Put([]byte(fmt.Sprintf("k%02d", i%10)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	c.Delete([]byte("k04"))
+
+	tp := kafka.TopicPartition{Topic: "stack-cl", Partition: 0}
+	if hwm, _ := broker.HighWatermark(tp); hwm != 0 {
+		t.Fatalf("changelog has %d records before commit flush", hwm)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	hwm, _ := broker.HighWatermark(tp)
+	// Dedup: 9 live keys + 1 tombstone (k04's put and delete collapse into
+	// the tombstone), not 201 raw writes.
+	if hwm != 10 {
+		t.Fatalf("changelog records after flush = %d, want 10", hwm)
+	}
+	if reg.Histogram("store.st.flush-ns").Count() == 0 {
+		t.Fatal("flush latency histogram never observed")
+	}
+
+	restored, err := NewChangelogStore(NewStore(), broker, "stack-cl", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 9 {
+		t.Fatalf("restored %d keys, want 9", restored.Len())
+	}
+	for i := 0; i < 10; i++ {
+		k := []byte(fmt.Sprintf("k%02d", i))
+		v, ok := restored.Get(k)
+		if i == 4 {
+			if ok {
+				t.Fatal("tombstoned key restored")
+			}
+			continue
+		}
+		want := fmt.Sprintf("v%d", 190+i)
+		if !ok || string(v) != want {
+			t.Fatalf("restored %s = %q %v, want %q", k, v, ok, want)
+		}
+	}
+}
+
+func TestChangelogAutoFlushAtWriteBatchCap(t *testing.T) {
+	broker := kafka.NewBroker()
+	cs, err := NewChangelogStore(NewStore(), broker, "auto-cl", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.SetWriteBatchSize(16)
+	tp := kafka.TopicPartition{Topic: "auto-cl", Partition: 0}
+	for i := 0; i < 15; i++ {
+		cs.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	if hwm, _ := broker.HighWatermark(tp); hwm != 0 {
+		t.Fatalf("produced %d records below the cap", hwm)
+	}
+	if cs.Pending() != 15 {
+		t.Fatalf("pending = %d, want 15", cs.Pending())
+	}
+	cs.Put([]byte("k15"), []byte("v")) // 16th write crosses the cap
+	if hwm, _ := broker.HighWatermark(tp); hwm != 16 {
+		t.Fatalf("auto-flush produced %d records, want 16", hwm)
+	}
+	if cs.Pending() != 0 {
+		t.Fatalf("pending after auto-flush = %d", cs.Pending())
+	}
+}
+
+// TestChangelogRestoreCompactedSparseOffsets drives overwrites and deletes
+// through small segments, forces compaction (leaving offset gaps up to the
+// active segment), and checks Restore replays the sparse log exactly.
+func TestChangelogRestoreCompactedSparseOffsets(t *testing.T) {
+	broker := kafka.NewBroker()
+	inner := NewStore()
+	cs, err := NewChangelogStore(inner, broker, "sparse-cl", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.SetWriteBatchSize(8) // frequent small produce batches -> many segments
+	rng := rand.New(rand.NewSource(7))
+	ref := map[string]string{}
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("k%02d", rng.Intn(20))
+		if rng.Intn(6) == 0 {
+			cs.Delete([]byte(k))
+			delete(ref, k)
+		} else {
+			v := fmt.Sprintf("v%d", i)
+			cs.Put([]byte(k), []byte(v))
+			ref[k] = v
+		}
+	}
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.Compact("sparse-cl"); err != nil {
+		t.Fatal(err)
+	}
+	tp := kafka.TopicPartition{Topic: "sparse-cl", Partition: 0}
+	hwm, _ := broker.HighWatermark(tp)
+	if hwm != 3000 {
+		t.Fatalf("hwm %d, want 3000 (offsets preserved across compaction)", hwm)
+	}
+
+	restored, err := NewChangelogStore(NewStore(), broker, "sparse-cl", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != len(ref) {
+		t.Fatalf("restored %d keys, want %d", restored.Len(), len(ref))
+	}
+	for k, want := range ref {
+		v, ok := restored.Get([]byte(k))
+		if !ok || string(v) != want {
+			t.Fatalf("restored %s = %q %v, want %q", k, v, ok, want)
+		}
+	}
+	// The restored store must byte-equal the survivor, not just size-match.
+	a, b := inner.Range(nil, nil, 0), restored.Range(nil, nil, 0)
+	for i := range a {
+		if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) {
+			t.Fatalf("entry %d diverges: %q vs %q", i, a[i].Key, b[i].Key)
+		}
+	}
+}
+
+// nopStore isolates the changelog buffering path from skiplist allocations
+// for the arena allocation pin.
+type nopStore struct{}
+
+func (nopStore) Get([]byte) ([]byte, bool)        { return nil, false }
+func (nopStore) Put(_, _ []byte)                  {}
+func (nopStore) Delete([]byte) bool               { return false }
+func (nopStore) Range(_, _ []byte, _ int) []Entry { return nil }
+func (nopStore) Len() int                         { return 0 }
+func (nopStore) Stats() (int64, int64)            { return 0, 0 }
+
+// TestChangelogBufferAllocs pins the arena design: buffering a mirrored
+// write costs amortized under one allocation (slab and pending-slice growth
+// only), versus the two defensive copies the per-write produce path made.
+func TestChangelogBufferAllocs(t *testing.T) {
+	broker := kafka.NewBroker()
+	cs, err := NewChangelogStore(nopStore{}, broker, "alloc-cl", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("alloc-key")
+	val := []byte("alloc-value-of-reasonable-size")
+	// 400 runs stay under the default 500 write-batch cap, so no produce
+	// happens inside the measured region.
+	avg := testing.AllocsPerRun(400, func() {
+		cs.Put(key, val)
+	})
+	if avg >= 1 {
+		t.Fatalf("changelog buffer path averages %.2f allocs/op, want < 1", avg)
+	}
+}

@@ -6,16 +6,46 @@ import (
 	"samzasql/internal/kafka"
 )
 
+// Flushable is implemented by stores that buffer writes between commits.
+// The container flushes every store at commit time, before the offset
+// checkpoint is written, so restored state is never behind committed
+// offsets (§4.3; Samza's task commit order).
+type Flushable interface {
+	// Flush forces buffered writes down the store stack (and, for
+	// changelog-backed stores, onto the changelog topic).
+	Flush() error
+}
+
+// DefaultWriteBatchSize is the changelog/write-batch cap when the job does
+// not configure one — Samza's write.batch.size default of 500.
+const DefaultWriteBatchSize = 500
+
+// changelogSlabSize is the arena slab the changelog copies key/value bytes
+// into. Slices handed to the broker alias the slab, so a slab is never
+// rewritten; exhausted slabs are simply dropped for a fresh one.
+const changelogSlabSize = 64 << 10
+
 // ChangelogStore wraps a Store, mirroring every write to a compacted Kafka
 // changelog topic partition so the state can be rebuilt after a task
 // failure, exactly as Samza snapshots local state (§2, §4.3). The changelog
 // partition matches the task's input partition so restored state lands on
 // the task that owns the keys.
+//
+// Mirrored writes are buffered and produced as one batch — at Flush (the
+// container calls it during commit, before the offset checkpoint) or when
+// the buffer reaches the write-batch cap. Each key/value is copied once,
+// into an arena slab shared by the whole batch; the broker retains the
+// slices, so used slab regions are never rewritten. Like the stores it
+// wraps, a ChangelogStore is owned by a single task goroutine.
 type ChangelogStore struct {
 	Store
 	broker    *kafka.Broker
 	topic     string
 	partition int32
+
+	pending  []kafka.Message
+	arena    []byte
+	batchCap int
 }
 
 // NewChangelogStore creates (if needed) the compacted changelog topic with
@@ -33,35 +63,91 @@ func NewChangelogStore(inner Store, broker *kafka.Broker, topic string, partitio
 		broker:    broker,
 		topic:     topic,
 		partition: partition,
+		batchCap:  DefaultWriteBatchSize,
 	}, nil
 }
 
-// Put writes through to the inner store and appends to the changelog.
-func (c *ChangelogStore) Put(key, value []byte) {
-	c.Store.Put(key, value)
-	// Changelog appends cannot fail here: the topic exists and the
-	// partition index was validated at construction.
-	if _, err := c.broker.Produce(c.topic, kafka.Message{
-		Partition: c.partition,
-		Key:       append([]byte(nil), key...),
-		Value:     append([]byte(nil), value...),
-	}); err != nil {
-		panic(fmt.Sprintf("kv: changelog append: %v", err))
+// SetWriteBatchSize caps how many mirrored writes buffer before an early
+// flush (Samza's write.batch.size). Values <= 0 keep the default.
+func (c *ChangelogStore) SetWriteBatchSize(n int) {
+	if n > 0 {
+		c.batchCap = n
 	}
 }
 
-// Delete removes the key and appends a tombstone to the changelog.
+// Put writes through to the inner store and buffers the changelog record.
+func (c *ChangelogStore) Put(key, value []byte) {
+	c.Store.Put(key, value)
+	c.buffer(key, value)
+}
+
+// Delete removes the key and buffers a tombstone for the changelog.
 func (c *ChangelogStore) Delete(key []byte) bool {
 	ok := c.Store.Delete(key)
-	if _, err := c.broker.Produce(c.topic, kafka.Message{
-		Partition: c.partition,
-		Key:       append([]byte(nil), key...),
-		Value:     nil,
-	}); err != nil {
-		panic(fmt.Sprintf("kv: changelog tombstone: %v", err))
-	}
+	c.buffer(key, nil)
 	return ok
 }
+
+// copyToArena copies b into the current slab (starting a fresh slab when it
+// does not fit) and returns the aliasing slice. Previously returned slices
+// stay valid: slabs are append-only and never recycled.
+func (c *ChangelogStore) copyToArena(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	if cap(c.arena)-len(c.arena) < len(b) {
+		size := changelogSlabSize
+		if len(b) > size {
+			size = len(b)
+		}
+		c.arena = make([]byte, 0, size)
+	}
+	start := len(c.arena)
+	c.arena = append(c.arena, b...)
+	return c.arena[start:len(c.arena):len(c.arena)]
+}
+
+// buffer queues one mirrored write, copying key and value once into the
+// batch arena. A nil value is a tombstone. When the buffer reaches the
+// write-batch cap it flushes early; like the old per-write produce path,
+// a broker failure there is a programming error (the topic exists and the
+// partition was validated at construction) and panics.
+func (c *ChangelogStore) buffer(key, value []byte) {
+	m := kafka.Message{
+		Partition: c.partition,
+		Key:       c.copyToArena(key),
+	}
+	if value != nil {
+		m.Value = c.copyToArena(value)
+	}
+	c.pending = append(c.pending, m)
+	if len(c.pending) >= c.batchCap {
+		if err := c.Flush(); err != nil {
+			panic(fmt.Sprintf("kv: changelog append: %v", err))
+		}
+	}
+}
+
+// Flush produces the buffered changelog records as one batch: one lock
+// acquisition and one subscriber wakeup on the partition regardless of the
+// batch size. The container calls it at commit, before the offset
+// checkpoint, so a restored store is never behind committed offsets.
+func (c *ChangelogStore) Flush() error {
+	if len(c.pending) == 0 {
+		return nil
+	}
+	if err := c.broker.ProduceBatch(c.topic, c.pending); err != nil {
+		return fmt.Errorf("kv: changelog flush: %w", err)
+	}
+	// The broker retains the message key/value slices (they alias arena
+	// slabs that are never rewritten); only the message headers are reused.
+	c.pending = c.pending[:0]
+	return nil
+}
+
+// Pending reports how many mirrored writes are buffered but not yet on the
+// changelog topic — test and introspection hook.
+func (c *ChangelogStore) Pending() int { return len(c.pending) }
 
 // Restore rebuilds the inner store by replaying the changelog partition from
 // its start offset to the current high watermark. It is called by the task

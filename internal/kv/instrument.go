@@ -15,7 +15,7 @@ import (
 type instrumentedStore struct {
 	raw                      Store
 	getLat, putLat, rangeLat *metrics.Histogram
-	deleteLat                *metrics.Histogram
+	deleteLat, flushLat      *metrics.Histogram
 }
 
 // Instrument wraps s so that get/put/delete/range latencies are recorded
@@ -30,6 +30,7 @@ func Instrument(s Store, reg *metrics.Registry, name string) Store {
 		putLat:    reg.Histogram(prefix + "put-ns"),
 		rangeLat:  reg.Histogram(prefix + "range-ns"),
 		deleteLat: reg.Histogram(prefix + "delete-ns"),
+		flushLat:  reg.Histogram(prefix + "flush-ns"),
 	}
 }
 
@@ -58,6 +59,20 @@ func (s *instrumentedStore) Range(start, end []byte, limit int) []Entry {
 	out := s.raw.Range(start, end, limit)
 	s.rangeLat.Observe(time.Since(t0).Nanoseconds())
 	return out
+}
+
+// Flush forwards to the wrapped store's Flush when it buffers writes (a
+// ChangelogStore producing its batch), timing it; otherwise it is a no-op,
+// so an instrumented stack is always safely Flushable.
+func (s *instrumentedStore) Flush() error {
+	f, ok := s.raw.(Flushable)
+	if !ok {
+		return nil
+	}
+	start := time.Now()
+	err := f.Flush()
+	s.flushLat.Observe(time.Since(start).Nanoseconds())
+	return err
 }
 
 func (s *instrumentedStore) Len() int { return s.raw.Len() }

@@ -145,6 +145,10 @@ func TestChangelogRestore(t *testing.T) {
 		cs.Put([]byte(fmt.Sprintf("k%02d", i%10)), []byte(fmt.Sprintf("v%d", i)))
 	}
 	cs.Delete([]byte("k03"))
+	// Writes buffer until commit; flush puts them on the changelog topic.
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
+	}
 
 	// Simulate failure: brand-new store restored from the changelog.
 	restored, err := NewChangelogStore(NewStore(), broker, "state-cl", 2, 1)
@@ -174,6 +178,9 @@ func TestChangelogRestoreAfterCompaction(t *testing.T) {
 	}
 	for i := 0; i < 2000; i++ {
 		cs.Put([]byte(fmt.Sprintf("k%02d", i%25)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
 	}
 	if err := broker.Compact("cl"); err != nil {
 		t.Fatal(err)

@@ -24,11 +24,41 @@ const SlidingStoreName = "samzasql-window"
 // markers make re-delivered messages no-ops (exactly-once output, §4.3).
 // The heavy store read/write traffic per tuple is intrinsic — the paper
 // measures sliding-window throughput as dominated by key-value access.
+//
+// When the job enables the store cache (JobSpec.StoreCacheSize), the
+// per-partition window state rows ('s' keys) stay resident as decoded
+// windowState objects: a cache-hit tuple pays no ObjectSerde decode on load
+// and no encode on save (encoding defers to commit flush or eviction).
+// Message contributions ('m' keys) are write-once and range-purged, which a
+// point-read LRU cannot help, so they route to the uncached layer — that
+// also keeps the hot path free of Range calls on the cache, which would
+// force the write batch through early and destroy deduplication.
 type SlidingWindowOp struct {
-	calls   []*analyticState
-	store   kv.Store
-	obj     serde.ObjectSerde
-	sources sourceKeys
+	calls []*analyticState
+	store kv.Store
+	// cache is non-nil when the task store supports object caching; msgStore
+	// is then the layer underneath it for the write-once 'm' key space.
+	cache    kv.ObjectCache
+	msgStore kv.Store
+	encState kv.ObjectEncoder
+	obj      serde.ObjectSerde
+	sources  sourceKeys
+
+	// Per-tuple scratch buffers (tasks are single-goroutine; every store
+	// layer copies keys and values it retains, so reuse is safe). sbuf holds
+	// the state key, kbuf the message key, pbuf/ebuf the purge-scan bounds,
+	// vbuf the encoded contribution.
+	sbuf, kbuf, pbuf, ebuf, vbuf []byte
+}
+
+// windowState is one window partition's decoded state: the live accumulator,
+// the retained-contribution count, and the per-source applied-offset vector
+// that makes re-delivered messages no-ops. Its encoded form is the
+// [accSnapshot, count, offsetVector] row loadCallState reads.
+type windowState struct {
+	acc     Accumulator
+	count   int64
+	offsets offsetVector
 }
 
 type analyticState struct {
@@ -37,6 +67,43 @@ type analyticState struct {
 	orderEval expr.Evaluator
 	argEval   expr.Evaluator // nil for COUNT(*)
 	idx       byte
+	// partVals is the per-tuple partition-value scratch (tasks are
+	// single-goroutine, so one buffer per call suffices).
+	partVals []any
+	// pkMemo caches encoded group keys for the common single-int64
+	// partition column (PARTITION BY productId), skipping the per-tuple
+	// ObjectSerde encode. Bounded: cardinality past pkMemoCap falls back to
+	// encoding.
+	pkMemo map[int64][]byte
+}
+
+// pkMemoCap bounds the group-key memo; the window state itself holds one row
+// per group, so the memo never exceeds the state's own key cardinality until
+// this cap.
+const pkMemoCap = 1 << 16
+
+// groupKey returns the encoded partition key for the tuple's partition
+// values, memoized for single-int64 partitions.
+func (c *analyticState) groupKey(g serde.ObjectSerde) ([]byte, error) {
+	if len(c.partVals) == 1 {
+		if v, ok := c.partVals[0].(int64); ok {
+			if pk, ok := c.pkMemo[v]; ok {
+				return pk, nil
+			}
+			pk, err := encodeGroupKey(g, c.partVals)
+			if err != nil {
+				return nil, err
+			}
+			if c.pkMemo == nil {
+				c.pkMemo = make(map[int64][]byte)
+			}
+			if len(c.pkMemo) < pkMemoCap {
+				c.pkMemo[v] = pk
+			}
+			return pk, nil
+		}
+	}
+	return encodeGroupKey(g, c.partVals)
 }
 
 // NewSlidingWindowOp compiles the analytic calls.
@@ -74,7 +141,23 @@ func NewSlidingWindowOp(calls []*validate.BoundAnalytic) (*SlidingWindowOp, erro
 // Open implements Operator.
 func (o *SlidingWindowOp) Open(ctx *OpContext) error {
 	o.store = ctx.Store(SlidingStoreName)
+	o.msgStore = o.store
+	if c, ok := o.store.(kv.ObjectCache); ok {
+		o.cache = c
+		o.msgStore = c.Uncached()
+		// Bound once: a method value allocates, and the encoder is handed to
+		// the cache on every state save.
+		o.encState = o.encodeState
+	}
 	return nil
+}
+
+// encodeState is the deferred ObjectEncoder for cached window state; the
+// cache invokes it at commit flush or eviction, so a partition rewritten N
+// times per interval is encoded once.
+func (o *SlidingWindowOp) encodeState(obj any) ([]byte, error) {
+	ws := obj.(*windowState)
+	return o.obj.Encode([]any{ws.acc.Snapshot(), ws.count, []any(ws.offsets)})
 }
 
 // Process implements Operator (Algorithm 1). Re-delivered messages are
@@ -104,15 +187,17 @@ func (o *SlidingWindowOp) Process(_ int, t *Tuple, emit Emit) error {
 
 func (o *SlidingWindowOp) processCall(c *analyticState, t *Tuple) (any, bool, error) {
 	// Partition key for window state.
-	partVals := make([]any, len(c.partEvals))
+	if c.partVals == nil {
+		c.partVals = make([]any, len(c.partEvals))
+	}
 	for i, ev := range c.partEvals {
 		v, err := ev(t.Row)
 		if err != nil {
 			return nil, false, err
 		}
-		partVals[i] = v
+		c.partVals[i] = v
 	}
-	pk, err := encodeGroupKey(o.obj, partVals)
+	pk, err := c.groupKey(o.obj)
 	if err != nil {
 		return nil, false, err
 	}
@@ -135,92 +220,96 @@ func (o *SlidingWindowOp) processCall(c *analyticState, t *Tuple) (any, bool, er
 		}
 	}
 
-	// 1. Load window state (aggregate values, bounds, applied offsets).
-	acc, count, offsets, err := o.loadCallState(c, pk)
+	// 1. Load window state (aggregate values, bounds, applied offsets) —
+	// from the object cache when resident, decoding from bytes otherwise.
+	o.sbuf = appendStateKey(o.sbuf[:0], c.idx, pk)
+	sk := o.sbuf
+	ws, err := o.loadCallState(c, sk)
 	if err != nil {
 		return nil, false, err
 	}
 	// Replayed message: state already reflects it; report current value.
 	src := o.sources.key(t)
-	if offsets.seen(src, t.Offset) {
-		return acc.Value(), true, nil
+	if ws.offsets.seen(src, t.Offset) {
+		return ws.acc.Value(), true, nil
 	}
-	count++
+	ws.count++
 
 	// 2. Save the message's window contribution in the message store.
-	msgKey := o.msgKey(c.idx, pk, ts, t.Offset)
-	msgVal, err := o.obj.Encode([]any{ts, arg})
+	o.kbuf = appendMsgKey(o.kbuf[:0], c.idx, pk, ts, t.Offset)
+	o.vbuf, err = o.encodeContribution(o.vbuf[:0], ts, arg)
 	if err != nil {
 		return nil, false, err
 	}
-	o.store.Put(msgKey, msgVal)
+	o.msgStore.Put(o.kbuf, o.vbuf)
 
 	// 3. Purge expired messages, adjusting aggregate values.
 	rebuild := false
-	prefix := o.msgPrefix(c.idx, pk)
+	o.pbuf = appendMsgPrefix(o.pbuf[:0], c.idx, pk)
+	prefix := o.pbuf
 	if !c.spec.Unbounded {
 		if c.spec.IsRows {
 			// Keep the last FrameRows+1 contributions.
 			keep := c.spec.FrameRows + 1
-			if count > keep {
-				entries := o.store.Range(prefix, prefixEnd(prefix), int(count-keep))
+			if ws.count > keep {
+				entries := o.msgStore.Range(prefix, prefixEnd(prefix), int(ws.count-keep))
 				for _, e := range entries {
-					if err := o.dropEntry(acc, e, &rebuild); err != nil {
+					if err := o.dropEntry(ws.acc, e, &rebuild); err != nil {
 						return nil, false, err
 					}
-					count--
+					ws.count--
 				}
 			}
 		} else if cutoff := ts - c.spec.FrameMillis; cutoff > 0 {
 			// RANGE frame: drop contributions older than ts - frame.
 			// (cutoff <= 0 cannot match any Unix-milli timestamp, and a
 			// negative value would wrap in the unsigned key encoding.)
-			end := o.msgKey(c.idx, pk, cutoff, 0)
-			entries := o.store.Range(prefix, end, 0)
+			o.ebuf = appendMsgKey(o.ebuf[:0], c.idx, pk, cutoff, 0)
+			entries := o.msgStore.Range(prefix, o.ebuf, 0)
 			for _, e := range entries {
-				if err := o.dropEntry(acc, e, &rebuild); err != nil {
+				if err := o.dropEntry(ws.acc, e, &rebuild); err != nil {
 					return nil, false, err
 				}
-				count--
+				ws.count--
 			}
 		}
 	}
 	// 4. Fold in the current tuple.
-	if err := acc.Add(arg); err != nil {
+	if err := ws.acc.Add(arg); err != nil {
 		return nil, false, err
 	}
 	// 5. Non-invertible aggregates (MIN/MAX, non-invertible UDAFs) rebuild
 	// from the retained window after a purge.
-	if rebuild && !acc.Invertible() {
+	if rebuild && !ws.acc.Invertible() {
 		fresh, err := NewAccumulatorFor(c.spec.Fn)
 		if err != nil {
 			return nil, false, err
 		}
-		for _, e := range o.store.Range(prefix, prefixEnd(prefix), 0) {
-			contrib, err := o.obj.Decode(e.Value)
+		for _, e := range o.msgStore.Range(prefix, prefixEnd(prefix), 0) {
+			val, err := o.decodeContribution(e.Value)
 			if err != nil {
 				return nil, false, err
 			}
-			if err := fresh.Add(contrib.([]any)[1]); err != nil {
+			if err := fresh.Add(val); err != nil {
 				return nil, false, err
 			}
 		}
-		acc = fresh
+		ws.acc = fresh
 	}
 	// 6. Persist state.
-	if err := o.saveCallState(c, pk, acc, count, offsets.update(src, t.Offset)); err != nil {
+	ws.offsets = ws.offsets.update(src, t.Offset)
+	if err := o.saveCallState(sk, ws); err != nil {
 		return nil, false, err
 	}
-	return acc.Value(), false, nil
+	return ws.acc.Value(), false, nil
 }
 
 // dropEntry removes one expired message contribution.
 func (o *SlidingWindowOp) dropEntry(acc Accumulator, e kv.Entry, rebuild *bool) error {
-	contrib, err := o.obj.Decode(e.Value)
+	val, err := o.decodeContribution(e.Value)
 	if err != nil {
 		return err
 	}
-	val := contrib.([]any)[1]
 	if acc.Invertible() {
 		if err := acc.Remove(val); err != nil {
 			return err
@@ -228,25 +317,64 @@ func (o *SlidingWindowOp) dropEntry(acc Accumulator, e kv.Entry, rebuild *bool) 
 	} else {
 		*rebuild = true
 	}
-	o.store.Delete(e.Key)
+	o.msgStore.Delete(e.Key)
 	return nil
 }
 
-// msgPrefix is "m" + callIdx + len(pk) + pk; fixed-width so ts ordering
-// inside the prefix is the byte ordering.
-func (o *SlidingWindowOp) msgPrefix(idx byte, pk []byte) []byte {
-	out := make([]byte, 0, 4+len(pk))
-	out = append(out, 'm', idx)
-	var l [2]byte
-	binary.BigEndian.PutUint16(l[:], uint16(len(pk)))
-	out = append(out, l[:]...)
-	return append(out, pk...)
+// Contribution value codec: the overwhelmingly common int64 argument encodes
+// as a fixed 17-byte record {1, ts, value}, skipping the ObjectSerde round
+// trip each tuple pays on save and each purge pays on drop; other argument
+// types wrap the ObjectSerde row [ts, value] behind a 0 marker.
+func (o *SlidingWindowOp) encodeContribution(buf []byte, ts int64, arg any) ([]byte, error) {
+	if v, ok := arg.(int64); ok {
+		var b [8]byte
+		buf = append(buf, 1)
+		binary.BigEndian.PutUint64(b[:], uint64(ts))
+		buf = append(buf, b[:]...)
+		binary.BigEndian.PutUint64(b[:], uint64(v))
+		return append(buf, b[:]...), nil
+	}
+	row, err := o.obj.Encode([]any{ts, arg})
+	if err != nil {
+		return nil, err
+	}
+	return append(append(buf, 0), row...), nil
 }
 
-func (o *SlidingWindowOp) msgKey(idx byte, pk []byte, ts int64, offset int64) []byte {
-	out := o.msgPrefix(idx, pk)
-	out = append(out, u64be(uint64(ts))...)
-	return append(out, u64be(uint64(offset))...)
+// decodeContribution returns the aggregate input value of one stored
+// contribution.
+func (o *SlidingWindowOp) decodeContribution(v []byte) (any, error) {
+	if len(v) == 17 && v[0] == 1 {
+		return int64(binary.BigEndian.Uint64(v[9:])), nil
+	}
+	if len(v) == 0 || v[0] != 0 {
+		return nil, fmt.Errorf("operators: bad window contribution encoding (%d bytes)", len(v))
+	}
+	contrib, err := o.obj.Decode(v[1:])
+	if err != nil {
+		return nil, err
+	}
+	return contrib.([]any)[1], nil
+}
+
+// appendMsgPrefix appends "m" + callIdx + len(pk) + pk to buf; fixed-width so
+// ts ordering inside the prefix is the byte ordering. The append-style
+// helpers let the hot path reuse per-operator scratch buffers.
+func appendMsgPrefix(buf []byte, idx byte, pk []byte) []byte {
+	buf = append(buf, 'm', idx)
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(pk)))
+	buf = append(buf, l[:]...)
+	return append(buf, pk...)
+}
+
+func appendMsgKey(buf []byte, idx byte, pk []byte, ts, offset int64) []byte {
+	buf = appendMsgPrefix(buf, idx, pk)
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(ts))
+	buf = append(buf, b[:]...)
+	binary.BigEndian.PutUint64(b[:], uint64(offset))
+	return append(buf, b[:]...)
 }
 
 // prefixEnd returns the smallest key greater than every key with prefix p.
@@ -261,51 +389,64 @@ func prefixEnd(p []byte) []byte {
 	return nil // prefix is all 0xff: scan to the end
 }
 
-func (o *SlidingWindowOp) stateKey(idx byte, pk []byte) []byte {
-	out := make([]byte, 0, 2+len(pk))
-	out = append(out, 's', idx)
-	return append(out, pk...)
+func appendStateKey(buf []byte, idx byte, pk []byte) []byte {
+	buf = append(buf, 's', idx)
+	return append(buf, pk...)
 }
 
-// loadCallState returns the accumulator, contribution count and the vector
-// of per-source offsets already applied. The state row is
-// [accumulatorSnapshot, count, offsetVector].
-func (o *SlidingWindowOp) loadCallState(c *analyticState, pk []byte) (Accumulator, int64, offsetVector, error) {
+// loadCallState returns the window state stored under state key sk. On a
+// cache hit the decoded windowState comes back as-is — no Get, no Decode.
+// Otherwise the state row [accumulatorSnapshot, count, offsetVector] is read
+// and decoded, and the decoded form is memoized for subsequent tuples.
+func (o *SlidingWindowOp) loadCallState(c *analyticState, sk []byte) (*windowState, error) {
+	if o.cache != nil {
+		if obj, ok := o.cache.GetObject(sk); ok {
+			return obj.(*windowState), nil
+		}
+	}
 	acc, err := NewAccumulatorFor(c.spec.Fn)
 	if err != nil {
-		return nil, 0, nil, err
+		return nil, err
 	}
-	var count int64
-	var offsets offsetVector
-	if v, ok := o.store.Get(o.stateKey(c.idx, pk)); ok {
+	ws := &windowState{acc: acc}
+	if v, ok := o.store.Get(sk); ok {
 		snap, err := o.obj.Decode(v)
 		if err != nil {
-			return nil, 0, nil, err
+			return nil, err
 		}
 		row := snap.([]any)
 		if len(row) != 3 {
-			return nil, 0, nil, fmt.Errorf("operators: window state has %d fields", len(row))
+			return nil, fmt.Errorf("operators: window state has %d fields", len(row))
 		}
 		accSnap, ok := row[0].([]any)
 		if !ok {
-			return nil, 0, nil, fmt.Errorf("operators: window state snapshot is %T", row[0])
+			return nil, fmt.Errorf("operators: window state snapshot is %T", row[0])
 		}
-		if err := acc.Restore(accSnap); err != nil {
-			return nil, 0, nil, err
+		if err := ws.acc.Restore(accSnap); err != nil {
+			return nil, err
 		}
-		count, _ = row[1].(int64)
+		ws.count, _ = row[1].(int64)
 		vec, _ := row[2].([]any)
-		offsets = offsetVector(vec)
+		ws.offsets = offsetVector(vec)
 	}
-	return acc, count, offsets, nil
+	if o.cache != nil {
+		o.cache.CacheObject(sk, ws)
+	}
+	return ws, nil
 }
 
-func (o *SlidingWindowOp) saveCallState(c *analyticState, pk []byte, acc Accumulator, count int64, offsets offsetVector) error {
-	row := []any{acc.Snapshot(), count, []any(offsets)}
-	v, err := o.obj.Encode(row)
+// saveCallState persists the window state under sk. With the cache the
+// object is stored as-is and encoding defers to flush/eviction; without it
+// the row is encoded and written per tuple, the paper-faithful baseline.
+func (o *SlidingWindowOp) saveCallState(sk []byte, ws *windowState) error {
+	if o.cache != nil {
+		o.cache.PutObject(sk, ws, o.encState)
+		return nil
+	}
+	v, err := o.encodeState(ws)
 	if err != nil {
 		return err
 	}
-	o.store.Put(o.stateKey(c.idx, pk), v)
+	o.store.Put(sk, v)
 	return nil
 }

@@ -97,8 +97,13 @@ type taskInstance struct {
 	consumer  *kafka.Consumer
 	ctx       *TaskContext
 	changelog []*kv.ChangelogStore
-	processed int // messages since last commit
-	sinceWin  int // messages since last window fire
+	// flushables are the top of each store stack, flushed at commit before
+	// the offset checkpoint is written: buffered store writes and changelog
+	// records always land before the offsets covering them, so restored
+	// state is never behind committed offsets.
+	flushables []kv.Flushable
+	processed  int // messages since last commit
+	sinceWin   int // messages since last window fire
 	// coord is the per-loop Coordinator handed to Process, reset per
 	// message instead of allocated per message.
 	coord coordinatorState
@@ -198,17 +203,39 @@ func (c *Container) buildTask(partition, inputPartitions int32) (*taskInstance, 
 	name := TaskNameFor(partition)
 	stores := map[string]kv.Store{}
 	var changelogs []*kv.ChangelogStore
+	var flushables []kv.Flushable
 	for _, spec := range c.job.Stores {
-		base := kv.NewStore()
+		// Store stack, bottom to top: skiplist base, optional changelog
+		// mirroring (batched, produced at flush), latency instrumentation,
+		// optional LRU object cache with write-behind batching. Flush on the
+		// top layer cascades down, so one call drains the whole stack.
+		// WriteBatchSize <= 0 means write-through (a batch cap of one):
+		// every mirrored write reaches the changelog immediately, the
+		// seed-faithful default that keeps state ahead of offsets for
+		// replay detection. Batching is an explicit job-level opt-in.
+		batch := c.job.WriteBatchSize
+		if batch <= 0 {
+			batch = 1
+		}
+		s := kv.NewStore()
 		if spec.Changelog {
-			cl, err := kv.NewChangelogStore(base, c.broker, c.job.ChangelogTopic(spec.Name), inputPartitions, partition)
+			cl, err := kv.NewChangelogStore(s, c.broker, c.job.ChangelogTopic(spec.Name), inputPartitions, partition)
 			if err != nil {
 				return nil, err
 			}
-			stores[spec.Name] = kv.Instrument(cl, c.Metrics, spec.Name)
+			cl.SetWriteBatchSize(batch)
 			changelogs = append(changelogs, cl)
-		} else {
-			stores[spec.Name] = kv.Instrument(base, c.Metrics, spec.Name)
+			s = cl
+		}
+		s = kv.Instrument(s, c.Metrics, spec.Name)
+		if c.job.StoreCacheSize > 0 {
+			cached := kv.NewCachedStore(s, c.job.StoreCacheSize, batch)
+			cached.BindMetrics(c.Metrics, spec.Name)
+			s = cached
+		}
+		stores[spec.Name] = s
+		if f, ok := s.(kv.Flushable); ok {
+			flushables = append(flushables, f)
 		}
 	}
 	tctx := &TaskContext{
@@ -222,16 +249,17 @@ func (c *Container) buildTask(partition, inputPartitions int32) (*taskInstance, 
 	}
 	consumer := kafka.NewConsumer(c.broker, c.job.Name)
 	return &taskInstance{
-		name:      name,
-		partition: partition,
-		task:      c.job.TaskFactory(),
-		consumer:  consumer,
-		ctx:       tctx,
-		changelog: changelogs,
-		delivered: map[string]int64{},
-		procLat:   c.Metrics.Timer("task." + string(name) + ".process-ns"),
-		winLat:    c.Metrics.Timer("task." + string(name) + ".window-ns"),
-		commitLat: c.Metrics.Timer("task." + string(name) + ".commit-ns"),
+		name:       name,
+		partition:  partition,
+		task:       c.job.TaskFactory(),
+		consumer:   consumer,
+		ctx:        tctx,
+		changelog:  changelogs,
+		flushables: flushables,
+		delivered:  map[string]int64{},
+		procLat:    c.Metrics.Timer("task." + string(name) + ".process-ns"),
+		winLat:     c.Metrics.Timer("task." + string(name) + ".window-ns"),
+		commitLat:  c.Metrics.Timer("task." + string(name) + ".commit-ns"),
 	}, nil
 }
 
@@ -510,9 +538,19 @@ func (c *Container) pollTask(ctx context.Context, ti *taskInstance) (bool, error
 	return false, nil
 }
 
-// commitTask writes the task's current consumer positions as a checkpoint.
+// commitTask runs the task's commit sequence in Samza's order: flush the
+// store stacks (write-behind batches into the stores, buffered changelog
+// records onto their topics), then write the offset checkpoint. State on the
+// changelog is therefore always at or ahead of the committed offsets; a
+// restart replays at most the uncommitted suffix, and buffered writes that
+// never flushed are reproduced by that replay rather than lost.
 func (c *Container) commitTask(ti *taskInstance) error {
 	start := ti.commitLat.Start()
+	for _, f := range ti.flushables {
+		if err := f.Flush(); err != nil {
+			return fmt.Errorf("samza: %s store flush: %w", ti.name, err)
+		}
+	}
 	cp := Checkpoint{Task: ti.name, Offsets: map[string]int64{}}
 	for topic, off := range ti.delivered {
 		cp.Offsets[topic] = off
