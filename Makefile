@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify ci bench bench-figures profile
+.PHONY: build test vet vet-custom race verify ci bench bench-figures profile
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,19 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Project-specific static analysis (see README "Static analysis"): hot-path
+# allocations, metrics binding, lock discipline, commit-chain error drops,
+# goroutine supervision. Exits non-zero on any unsuppressed finding.
+vet-custom:
+	$(GO) run ./cmd/samzasql-vet ./...
+
 # Race-detector leg of verify. -short keeps the full-job figure sweeps out
 # (bench_test.go skips them) so the whole tree stays race-checked quickly.
 race:
 	$(GO) test -race -short ./...
 
 # The PR gate: static checks plus the race-enabled test run.
-verify: vet race
+verify: vet vet-custom race
 
 # What the GitHub Actions workflow runs: formatting, build, static checks,
 # then the full test tree under the race detector.
@@ -25,6 +31,7 @@ ci: build
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/samzasql-vet ./...
 	$(GO) test -race ./...
 
 # Messages per figure run for the JSON report (small enough to keep `make

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop guards the commit-order contract: store-flush → changelog-flush →
+// offset-commit only holds if every error on that chain is propagated. A
+// Flush/Commit/Produce call whose error result is dropped on the floor can
+// silently break exactly-once recovery (a checkpoint written after a failed
+// flush commits offsets ahead of durable state).
+//
+// Scope: the runtime packages that own the commit path (internal/kv,
+// internal/kafka, internal/samza), plus any package carrying a
+// //samzasql:enforce error-drop directive (fixtures). Only statement-level
+// drops are flagged; an explicit `_ = x.Flush()` is treated as an audited
+// decision and left alone.
+var ErrDrop = &Analyzer{
+	Name: "error-drop",
+	Doc: "no ignored error results on Flush/Commit/Checkpoint/Produce-class calls in internal/kv, " +
+		"internal/kafka, internal/samza; assign and propagate, or write an explicit `_ =` with rationale",
+	Run: runErrDrop,
+}
+
+// errDropScope are the import-path suffixes the analyzer applies to.
+var errDropScope = []string{
+	"internal/kv",
+	"internal/kafka",
+	"internal/samza",
+}
+
+// commitChainMethods are the commit/produce-chain method names whose error
+// results must not be dropped.
+var commitChainMethods = map[string]bool{
+	"Flush":        true,
+	"Commit":       true,
+	"Checkpoint":   true,
+	"Produce":      true,
+	"ProduceBatch": true,
+	"Send":         true,
+	"SendBatch":    true,
+	"SendTo":       true,
+	"Write":        true,
+	"Restore":      true,
+}
+
+func inErrDropScope(pkg *Package) bool {
+	if pkg.Enforces("error-drop") {
+		return true
+	}
+	for _, suffix := range errDropScope {
+		if strings.HasSuffix(pkg.PkgPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runErrDrop(pass *Pass) {
+	if !inErrDropScope(pass.Pkg) {
+		return
+	}
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+				how = "discarded"
+			case *ast.GoStmt:
+				call = n.Call
+				how = "discarded by the go statement"
+			case *ast.DeferStmt:
+				call = n.Call
+				how = "discarded by the defer"
+			}
+			if call == nil {
+				return true
+			}
+			name, ok := calleeName(call)
+			if !ok || !commitChainMethods[name] {
+				return true
+			}
+			if !lastResultIsError(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error result of %s(...) is %s; a dropped %s error breaks the store-flush → changelog-flush → offset-commit contract — handle it, or write `_ = …` with a rationale comment", name, how, name)
+			return true
+		})
+	}
+}
+
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	case *ast.Ident:
+		return fun.Name, true
+	}
+	return "", false
+}
+
+func lastResultIsError(pass *Pass, call *ast.CallExpr) bool {
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Results() == nil || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoroutineSupervision enforces the container's errgroup-style discipline
+// (PR 1): every goroutine the runtime spawns must be joined by a supervisor
+// — a WaitGroup the spawner waits on — so container shutdown cannot leak
+// work and a panicking task cannot strand siblings. A bare `go` statement
+// with no `defer …Done()` in its body escapes Run's wg.Wait() and outlives
+// the container.
+//
+// Scope: internal/samza and internal/yarn (the two packages that own
+// goroutine lifecycles), plus packages with //samzasql:enforce
+// goroutine-supervision.
+var GoroutineSupervision = &Analyzer{
+	Name: "goroutine-supervision",
+	Doc: "go statements in internal/samza and internal/yarn must be supervised: the goroutine body " +
+		"defers a …Done() (WaitGroup join) so a supervisor can drain it on shutdown",
+	Run: runGoroutineSupervision,
+}
+
+var goroutineScope = []string{
+	"internal/samza",
+	"internal/yarn",
+}
+
+func inGoroutineScope(pkg *Package) bool {
+	if pkg.Enforces("goroutine-supervision") {
+		return true
+	}
+	for _, suffix := range goroutineScope {
+		if strings.HasSuffix(pkg.PkgPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runGoroutineSupervision(pass *Pass) {
+	if !inGoroutineScope(pass.Pkg) {
+		return
+	}
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if fl, ok := g.Call.Fun.(*ast.FuncLit); ok && deferresDone(fl) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "unsupervised goroutine: the body never defers a …Done(), so no supervisor joins it on shutdown; wrap it in a WaitGroup (wg.Add(1); go func() { defer wg.Done(); … }()) that the owner waits on")
+			return true
+		})
+	}
+}
+
+// deferresDone reports whether the goroutine body contains `defer x.Done()`
+// — the WaitGroup join that makes it drainable by a supervisor.
+func deferresDone(fl *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if sel, ok := d.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

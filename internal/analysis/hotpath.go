@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAlloc checks functions annotated //samzasql:hotpath for the
+// allocation patterns the de-allocated message paths (PR 1/PR 3) banned:
+// fmt.Sprint-family calls, string concatenation, map construction, escaping
+// closures that capture locals, and interface boxing of numeric values.
+// Cold error construction (fmt.Errorf on failure paths) is deliberately
+// allowed: error paths do not run per message.
+var HotpathAlloc = &Analyzer{
+	Name: "hotpath-alloc",
+	Doc: "functions marked //samzasql:hotpath must not allocate per call: no fmt.Sprint*, " +
+		"no string concatenation, no make(map)/map literals, no escaping closures capturing " +
+		"locals, no boxing of numeric values into interface arguments",
+	Run: runHotpathAlloc,
+}
+
+// sprintFamily are the fmt formatters whose result is a fresh allocation on
+// the happy path. fmt.Errorf is excluded: it only runs on error paths.
+var sprintFamily = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+	"Appendf":  true,
+}
+
+func runHotpathAlloc(pass *Pass) {
+	for _, decl := range pass.Pkg.HotPathFuncs() {
+		checkHotpathBody(pass, decl)
+	}
+}
+
+func checkHotpathBody(pass *Pass, decl *ast.FuncDecl) {
+	// Function literals invoked directly or via defer stay on the stack
+	// (open-coded defers); everything else — go statements, call arguments,
+	// assignments — may force the closure and its captures to escape.
+	nonEscaping := map[*ast.FuncLit]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				nonEscaping[fl] = true
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if fl, ok := call.Fun.(*ast.FuncLit); ok {
+					nonEscaping[fl] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotpathCall(pass, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass.TypeOf(n)) {
+				pass.Reportf(n.OpPos, "string concatenation in //samzasql:hotpath function %s allocates; use a reused []byte scratch buffer or pre-build the string outside the loop", decl.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(pass.TypeOf(n.Lhs[0])) {
+				pass.Reportf(n.TokPos, "string concatenation in //samzasql:hotpath function %s allocates", decl.Name.Name)
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypeOf(n); t != nil && isMapType(t) {
+				pass.Reportf(n.Pos(), "map literal in //samzasql:hotpath function %s allocates; hoist the map to the enclosing struct and reuse it", decl.Name.Name)
+			}
+		case *ast.FuncLit:
+			if nonEscaping[n] {
+				return true
+			}
+			if name, ok := capturedLocal(pass, decl, n); ok {
+				pass.Reportf(n.Pos(), "closure in //samzasql:hotpath function %s captures %q and escapes (go statement, argument or assignment); bind it once outside the hot path", decl.Name.Name, name)
+			}
+			return false // captures inside nested literals are reported once, at the outermost literal
+		}
+		return true
+	})
+}
+
+func checkHotpathCall(pass *Pass, call *ast.CallExpr) {
+	// make(map[...]...)
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) > 0 {
+		if t := pass.TypeOf(call.Args[0]); t != nil && isMapType(t) {
+			pass.Reportf(call.Pos(), "make(map) in a //samzasql:hotpath function allocates per call; hoist the map and reuse it (clear() between uses)")
+			return
+		}
+	}
+	// fmt.Sprint family. fmt.Errorf is exempt from this and the boxing check
+	// below: error construction only runs on failure paths, not per message.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pkgID, ok := sel.X.(*ast.Ident); ok {
+			if obj, ok := pass.Info().Uses[pkgID].(*types.PkgName); ok && obj.Imported().Path() == "fmt" {
+				if sprintFamily[sel.Sel.Name] {
+					pass.Reportf(call.Pos(), "fmt.%s in a //samzasql:hotpath function allocates its result (and boxes every argument); use strconv/append helpers or move formatting off the hot path", sel.Sel.Name)
+				}
+				return
+			}
+		}
+	}
+	// Interface boxing: a non-constant numeric/bool value passed where the
+	// callee takes an interface heap-allocates the box.
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing here
+			}
+			slice, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice)
+			if !ok {
+				continue
+			}
+			param = slice.Elem()
+		case i < params.Len():
+			param = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(param) {
+			continue
+		}
+		tv, ok := pass.Info().Types[arg]
+		if !ok || tv.Value != nil {
+			continue // constants box into the runtime's static cells or fold away
+		}
+		basic, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || basic.Info()&(types.IsNumeric|types.IsBoolean) == 0 {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s as interface argument %d boxes it (one allocation per call) in a //samzasql:hotpath function", tv.Type, i)
+	}
+}
+
+// capturedLocal returns the name of a variable declared in decl (parameter,
+// receiver or local) that fl references, if any.
+func capturedLocal(pass *Pass, decl *ast.FuncDecl, fl *ast.FuncLit) (string, bool) {
+	found := ""
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info().Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() < decl.Pos() || v.Pos() > decl.End() {
+			return true // package-level or other-function variable
+		}
+		if v.Pos() >= fl.Pos() && v.Pos() <= fl.End() {
+			return true // the literal's own local
+		}
+		found = v.Name()
+		return false
+	})
+	return found, found != ""
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestRepoIsClean runs the full suite over the repository itself, the same
+// way `make vet-custom` does, and fails on any unsuppressed finding. This is
+// the check that keeps the runtime honest between CI runs of the CLI: a
+// change that drops a commit-chain error or allocates on a hot path breaks
+// `go test ./internal/analysis` locally, not just the vet step.
+func TestRepoIsClean(t *testing.T) {
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("LoadPatterns(./...) found no packages")
+	}
+	diags := Run(pkgs, Suite())
+	for _, d := range Unsuppressed(diags) {
+		t.Errorf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+	}
+}
+
+// TestRepoHasHotpathAnnotations guards the annotation satellite: the message
+// hot paths must stay marked, otherwise hotpath-alloc silently checks
+// nothing. The exact function set may grow, but it must never shrink to the
+// point of vacuity.
+func TestRepoHasHotpathAnnotations(t *testing.T) {
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	perPkg := map[string]int{}
+	for _, pkg := range pkgs {
+		n := len(pkg.HotPathFuncs())
+		total += n
+		perPkg[pkg.PkgPath] = n
+	}
+	if total < 5 {
+		t.Fatalf("only %d //samzasql:hotpath functions in the tree; the message hot paths must stay annotated", total)
+	}
+	for _, want := range []string{
+		"samzasql/internal/samza",
+		"samzasql/internal/kafka",
+		"samzasql/internal/kv",
+		"samzasql/internal/operators",
+	} {
+		if perPkg[want] == 0 {
+			t.Errorf("package %s has no //samzasql:hotpath annotations left", want)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package analysis
+
+// Suite returns every project analyzer, in stable order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		ErrDrop,
+		GoroutineSupervision,
+		HotpathAlloc,
+		LockDiscipline,
+		MetricsBinding,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Suite() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+// Package errdrop is a golden fixture for the error-drop analyzer. The
+// enforce directive below opts this package into the analyzer's scope, the
+// way internal/kv, internal/kafka and internal/samza are in scope by path.
+//
+//samzasql:enforce error-drop
+package errdrop
+
+type store struct{}
+
+func (store) Flush() error              { return nil }
+func (store) Commit(offset int64) error { return nil }
+func (store) Checkpoint() error         { return nil }
+func (store) Produce(v []byte) error    { return nil }
+func (store) Close()                    {}
+
+func drops(s store) {
+	s.Flush()         // want `error result of Flush\(\.\.\.\) is discarded`
+	go s.Produce(nil) // want `error result of Produce\(\.\.\.\) is discarded by the go statement`
+	defer s.Commit(0) // want `error result of Commit\(\.\.\.\) is discarded by the defer`
+	s.Close()         // no error result: nothing to drop
+}
+
+func handles(s store) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	// An explicit blank assignment is an audited decision, not a drop.
+	_ = s.Checkpoint()
+	return s.Commit(0)
+}
+
+func suppressed(s store) {
+	//samzasql:ignore error-drop -- best-effort flush on the shutdown path; the restart replays the changelog
+	s.Flush() // want-suppressed `error result of Flush\(\.\.\.\) is discarded`
+}

@@ -1,0 +1,36 @@
+// Package goroutine is a golden fixture for the goroutine-supervision
+// analyzer. The enforce directive opts this package into the analyzer's
+// scope, the way internal/samza and internal/yarn are in scope by path.
+//
+//samzasql:enforce goroutine-supervision
+package goroutine
+
+import "sync"
+
+func work() {}
+
+func unsupervised(ch chan int) {
+	go work()   // want `unsupervised goroutine`
+	go func() { // want `unsupervised goroutine`
+		ch <- 1
+	}()
+}
+
+func supervised(ch chan int) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	go func() {
+		defer wg.Done()
+		ch <- 1
+	}()
+	wg.Wait()
+}
+
+func suppressed() {
+	//samzasql:ignore goroutine-supervision -- fire-and-forget warmup; process lifetime bounds it
+	go work() // want-suppressed `unsupervised goroutine`
+}

@@ -1,0 +1,58 @@
+// Package hotpath is a golden fixture for the hotpath-alloc analyzer. Every
+// `// want "…"` comment is a regexp the driver test matches against the
+// diagnostic reported on that line; lines without a want comment must stay
+// clean.
+package hotpath
+
+import "fmt"
+
+func sink(args ...any) {}
+
+func callback(f func()) { f() }
+
+var prebuilt = map[string]int{}
+
+//samzasql:hotpath
+func process(key string, n int) string {
+	s := fmt.Sprintf("%s-%d", key, n) // want `fmt\.Sprintf in a //samzasql:hotpath function`
+	s = s + key                       // want `string concatenation in //samzasql:hotpath function process`
+	s += key                          // want `string concatenation in //samzasql:hotpath function process`
+	m := make(map[string]int)         // want `make\(map\) in a //samzasql:hotpath function`
+	_ = map[string]int{"a": n}        // want `map literal in //samzasql:hotpath function process`
+	callback(func() { _ = key })      // want `closure in //samzasql:hotpath function process captures "key"`
+	sink(n)                           // want `passing int as interface argument 0 boxes it`
+	m[key] = n
+	return s
+}
+
+//samzasql:hotpath
+func allowed(key string, n int) error {
+	// Cold error construction is fine: error paths do not run per message.
+	if n < 0 {
+		return fmt.Errorf("bad count %d for %s", n, key)
+	}
+	// Deferred and directly-invoked literals stay on the stack.
+	defer func() { _ = key }()
+	func() { _ = n }()
+	// Constants box into the runtime's static cells or fold away.
+	sink(1)
+	// Reusing a hoisted map is the prescribed pattern.
+	prebuilt[key] = n
+	// A closure capturing nothing from this frame does not pin locals.
+	callback(func() { prebuilt["x"] = 0 })
+	return nil
+}
+
+//samzasql:hotpath
+func suppressed(key string, n int) string {
+	//samzasql:ignore hotpath-alloc -- init-once slow path, guarded by sync.Once upstream
+	return fmt.Sprintf("%s-%d", key, n) // want-suppressed `fmt\.Sprintf in a //samzasql:hotpath function`
+}
+
+// cold has no annotation: the same patterns are legal here.
+func cold(key string, n int) string {
+	m := make(map[string]int)
+	m[key] = n
+	sink(n)
+	return fmt.Sprintf("%s-%d", key, n)
+}

@@ -1,0 +1,44 @@
+// Package metricsbind is a golden fixture for the metrics-binding analyzer:
+// registry name-lookups are banned inside Process/Window methods, poll
+// loops, and //samzasql:hotpath functions, and legal everywhere handles are
+// bound once.
+package metricsbind
+
+import "samzasql/internal/metrics"
+
+type task struct {
+	reg      *metrics.Registry
+	messages *metrics.Counter
+}
+
+// Init is the binding site: lookups are legal here.
+func (t *task) Init() {
+	t.messages = t.reg.Counter("task.messages")
+	_ = t.reg.Gauge("task.lag")
+}
+
+// Process is a per-message path by convention, no annotation needed.
+func (t *task) Process(n int) {
+	t.reg.Counter("task.messages").Add(int64(n)) // want `registry lookup Counter\(\.\.\.\) inside a per-message Process path`
+	t.messages.Add(int64(n))                     // bound handle: fine
+}
+
+// Window is the other conventional per-message entry point.
+func (t *task) Window() {
+	_ = t.reg.Histogram("task.window") // want `registry lookup Histogram\(\.\.\.\) inside a per-message Window path`
+}
+
+// pollPartitions matches the poll-prefix convention.
+func (t *task) pollPartitions() {
+	_ = t.reg.Timer("task.poll") // want `registry lookup Timer\(\.\.\.\) inside a per-message pollPartitions path`
+}
+
+//samzasql:hotpath
+func (t *task) drain() {
+	_ = t.reg.Gauge("task.drain") // want `registry lookup Gauge\(\.\.\.\) inside a //samzasql:hotpath function`
+}
+
+func (t *task) pollSlow() {
+	//samzasql:ignore metrics-binding -- cold rebalance path, runs once per reassignment
+	t.reg.Counter("task.rebalances").Inc() // want-suppressed `registry lookup Counter\(\.\.\.\)`
+}

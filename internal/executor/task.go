@@ -97,6 +97,8 @@ func (t *Task) bindSender(collector samza.MessageCollector) {
 }
 
 // Process implements samza.StreamTask: decode, route, emit.
+//
+//samzasql:hotpath
 func (t *Task) Process(env samza.IncomingMessageEnvelope, collector samza.MessageCollector, _ samza.Coordinator) error {
 	if collector != t.bound {
 		t.bindSender(collector)

@@ -221,6 +221,7 @@ func PartitionForKey(key []byte, n int32) int32 {
 		return 0
 	}
 	h := fnv.New32a()
+	//samzasql:ignore error-drop -- hash.Hash.Write is documented to never return an error
 	h.Write(key)
 	return int32(h.Sum32() % uint32(n))
 }

@@ -169,6 +169,8 @@ func (c *Consumer) Poll(ctx context.Context, max int) ([]Message, error) {
 // acquisition: broker fetches never block and never call back into the
 // consumer, and holding the lock lets the pass read rr (the assignment
 // snapshot) and positions in place instead of copying them per call.
+//
+//samzasql:hotpath
 func (c *Consumer) pollOnce(max int) (msgs []Message, assigned bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

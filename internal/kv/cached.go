@@ -230,6 +230,8 @@ func (c *CachedStore) Flush() error {
 // Get serves hot keys from the cache; misses fall through to the inner
 // store and are cached, including negative results (absent keys), which
 // stream-relation join probes hit constantly.
+//
+//samzasql:hotpath
 func (c *CachedStore) Get(key []byte) ([]byte, bool) {
 	if e, ok := c.entries[string(key)]; ok { // no alloc: map lookup special case
 		c.touch(e)
@@ -252,6 +254,8 @@ func (c *CachedStore) Get(key []byte) ([]byte, bool) {
 
 // Put buffers the write in the cache; the inner store sees it at the next
 // batch write. The value is copied, matching the inner store's contract.
+//
+//samzasql:hotpath
 func (c *CachedStore) Put(key, value []byte) {
 	v := append([]byte(nil), value...)
 	if e, ok := c.entries[string(key)]; ok {
@@ -271,6 +275,8 @@ func (c *CachedStore) Put(key, value []byte) {
 // PutObject buffers a decoded object as the key's value, deferring encoding
 // to flush or eviction. Rewriting a hot key N times per commit costs N cache
 // stores but only one encode and one downstream Put.
+//
+//samzasql:hotpath
 func (c *CachedStore) PutObject(key []byte, obj any, enc ObjectEncoder) {
 	if e, ok := c.entries[string(key)]; ok {
 		e.value = nil
@@ -287,6 +293,8 @@ func (c *CachedStore) PutObject(key []byte, obj any, enc ObjectEncoder) {
 }
 
 // GetObject returns the memoized decoded object for key, when resident.
+//
+//samzasql:hotpath
 func (c *CachedStore) GetObject(key []byte) (any, bool) {
 	e, ok := c.entries[string(key)]
 	if !ok || !e.present || e.obj == nil {

@@ -123,6 +123,8 @@ func (o *StreamRelationJoinOp) processRelation(t *Tuple) error {
 }
 
 // processStream joins one stream tuple against the cached relation.
+//
+//samzasql:hotpath
 func (o *StreamRelationJoinOp) processStream(t *Tuple, emit Emit) error {
 	probe := o.combine(t.Row, nil)
 	kval, err := o.keyEval(probe)

@@ -163,6 +163,8 @@ func (o *SlidingWindowOp) encodeState(obj any) ([]byte, error) {
 // Process implements Operator (Algorithm 1). Re-delivered messages are
 // detected via the last-applied offset carried in each window state row and
 // produce no state change and no output (exactly-once, §4.3).
+//
+//samzasql:hotpath
 func (o *SlidingWindowOp) Process(_ int, t *Tuple, emit Emit) error {
 	out := append([]any(nil), t.Row...)
 	replay := false
@@ -185,6 +187,7 @@ func (o *SlidingWindowOp) Process(_ int, t *Tuple, emit Emit) error {
 	})
 }
 
+//samzasql:hotpath
 func (o *SlidingWindowOp) processCall(c *analyticState, t *Tuple) (any, bool, error) {
 	// Partition key for window state.
 	if c.partVals == nil {

@@ -469,6 +469,8 @@ const pollBatch = 256
 
 // pollTask delivers one batch to the task. Returns stop=true when the task
 // requested shutdown.
+//
+//samzasql:hotpath
 func (c *Container) pollTask(ctx context.Context, ti *taskInstance) (bool, error) {
 	msgs, err := ti.consumer.Poll(ctx, pollBatch)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"sync"
 )
 
 // ServeIntrospection starts the runner's HTTP introspection server on addr
@@ -36,8 +37,20 @@ func (r *JobRunner) ServeIntrospection(addr string) (string, func(context.Contex
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
-	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Shutdown, nil
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Serve returns ErrServerClosed after Shutdown; real accept errors
+		// surface through the failing requests, not this goroutine.
+		_ = srv.Serve(ln)
+	}()
+	shutdown := func(ctx context.Context) error {
+		err := srv.Shutdown(ctx)
+		wg.Wait()
+		return err
+	}
+	return ln.Addr().String(), shutdown, nil
 }
 
 // handleMetrics dumps every job's merged snapshot in the registry text
