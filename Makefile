@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet vet-custom race verify ci bench bench-figures profile
+.PHONY: build test vet vet-custom race verify ci bench bench-figures profile trace-overhead
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,14 @@ bench:
 # Full paper-figure regeneration (slow; see also cmd/samzasql-bench).
 bench-figures:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Tracing-overhead report: first re-pin the unsampled hot paths at 0
+# allocs/op with the tracing cursor bound, then the best-of-5
+# sampled-vs-unsampled throughput comparison (rates 0, 0.01, 1.0) on the
+# filter and sliding-window queries. CI runs this as a non-blocking report.
+trace-overhead:
+	$(GO) test -run 'TestFilterProcessZeroAllocsTracerBound|TestFilterProcessZeroAllocs' -count=1 -v ./internal/executor/
+	$(GO) run ./cmd/samzasql-bench -figure trace -messages $(BENCH_MESSAGES) -trace-rounds 5
 
 PROFILE_ADDR ?= 127.0.0.1:8642
 

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		figure     = flag.String("figure", "all", "figure to regenerate: 5a, 5b, 5c, 6, state, loc or all")
+		figure     = flag.String("figure", "all", "figure to regenerate: 5a, 5b, 5c, 6, state, trace, loc or all")
 		messages   = flag.Int("messages", 200_000, "orders messages per run")
 		partitions = flag.Int("partitions", 32, "partitions per topic (paper: 32)")
 		products   = flag.Int("products", 100, "products relation cardinality")
@@ -33,6 +33,8 @@ func main() {
 		mInterval  = flag.Duration("metrics-interval", 0, "enable the per-container metrics snapshot reporter at this period (e.g. 500ms) and print per-operator latency tables")
 		storeCache = flag.Int("store-cache", 0, "wrap every task store in an LRU object cache of this many entries (0 = paper-faithful per-tuple store path)")
 		writeBatch = flag.Int("write-batch", 0, "batch store/changelog writes until commit, capped at this many dirty keys (0 = write-through mirroring)")
+		traceRate  = flag.Float64("trace-sample-rate", 0, "sample roughly this fraction of produced messages into end-to-end span trees (0 = tracing off)")
+		traceRnds  = flag.Int("trace-rounds", 5, "rounds per point for -figure trace (best-of comparison)")
 		jsonPath   = flag.String("json", "", "also write the measured series as machine-readable JSON to this path (e.g. BENCH_results.json)")
 	)
 	flag.Parse()
@@ -52,6 +54,10 @@ func main() {
 	}
 	cfg.StoreCacheSize = *storeCache
 	cfg.WriteBatchSize = *writeBatch
+	if *traceRate < 0 || *traceRate > 1 {
+		fatalf("bad -trace-sample-rate value %v (want [0, 1])", *traceRate)
+	}
+	cfg.TraceSampleRate = *traceRate
 
 	var sweep []int
 	if *containers != "" {
@@ -99,6 +105,16 @@ func main() {
 		report.StoreTuning = &cmp
 	}
 
+	// runTraceOverhead measures tracing cost at sample rates 0, 0.01, 1.0
+	// on the filter and sliding-window benchmarks, behind "-figure trace".
+	runTraceOverhead := func() {
+		rows, err := bench.RunTraceOverhead(cfg.Messages, *traceRnds)
+		if err != nil {
+			fatalf("trace overhead: %v", err)
+		}
+		fmt.Println(bench.FormatTraceOverhead(rows))
+	}
+
 	switch *figure {
 	case "all":
 		for _, spec := range bench.Figures {
@@ -108,12 +124,14 @@ func main() {
 		printLOC()
 	case "state":
 		runStoreTuning()
+	case "trace":
+		runTraceOverhead()
 	case "loc":
 		printLOC()
 	default:
 		spec, ok := bench.FigureByID(*figure)
 		if !ok {
-			fatalf("unknown figure %q (want 5a, 5b, 5c, 6, state, loc or all)", *figure)
+			fatalf("unknown figure %q (want 5a, 5b, 5c, 6, state, trace, loc or all)", *figure)
 		}
 		runOne(spec)
 	}

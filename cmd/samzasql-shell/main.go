@@ -37,6 +37,7 @@ func main() {
 		partitions = flag.Int("partitions", 4, "partitions for demo topics")
 		storeCache = flag.Int("store-cache", 0, "wrap task stores of submitted jobs in an LRU object cache of this many entries (0 = per-tuple store path)")
 		writeBatch = flag.Int("write-batch", 0, "batch store/changelog writes until commit, capped at this many dirty keys (0 = write-through mirroring)")
+		traceRate  = flag.Float64("trace-sample-rate", 0, "sample roughly this fraction of produced messages into end-to-end span trees (0 = tracing off; see \\trace and EXPLAIN ANALYZE)")
 	)
 	flag.Parse()
 
@@ -52,6 +53,15 @@ func main() {
 	}
 	engine.StoreCacheSize = *storeCache
 	engine.WriteBatchSize = *writeBatch
+	if *traceRate < 0 || *traceRate > 1 {
+		fatalf("bad -trace-sample-rate value %v (want [0, 1])", *traceRate)
+	}
+	engine.TraceSampleRate = *traceRate
+	if *traceRate > 0 {
+		// Trace contexts attach at produce time, so the sampler must be on
+		// the broker before the demo data (or any piped INSERTs) land.
+		broker.SetTraceSampling(*traceRate)
+	}
 
 	if *modelPath != "" {
 		doc, err := os.ReadFile(*modelPath)
@@ -133,12 +143,16 @@ func command(engine *executor.Engine, cmd string) bool {
 		}
 	case `\metrics`, "!metrics":
 		printMetrics(engine)
+	case `\trace`, "!trace":
+		engine.Runner.WriteTraces(os.Stdout)
 	case "!help":
-		fmt.Println(`  <statement>;           run a SQL statement (SELECT [STREAM], CREATE VIEW, INSERT INTO)
-  EXPLAIN <query>;       print the optimized plan
-  !tables                list catalog objects
-  \metrics               dump metrics of every submitted job (counters, gauges, latency histograms)
-  !quit                  leave the shell`)
+		fmt.Println(`  <statement>;              run a SQL statement (SELECT [STREAM], CREATE VIEW, INSERT INTO)
+  EXPLAIN <query>;          print the optimized plan
+  EXPLAIN ANALYZE <query>;  run the query briefly and print the plan with live per-operator stats
+  !tables                   list catalog objects
+  \metrics                  dump metrics of every submitted job (counters, gauges, latency histograms)
+  \trace                    dump recent sampled span trees per job (needs -trace-sample-rate > 0)
+  !quit                     leave the shell`)
 	default:
 		fmt.Printf("unknown command %s (try !help)\n", cmd)
 	}
@@ -170,6 +184,14 @@ func describe(obj *catalog.Object) string {
 func execute(engine *executor.Engine, stmt string, streamRows int) {
 	upper := strings.ToUpper(stmt)
 	switch {
+	case strings.HasPrefix(upper, "EXPLAIN ANALYZE"):
+		rest := strings.TrimSpace(stmt[len("EXPLAIN ANALYZE"):])
+		out, err := engine.ExplainAnalyze(context.Background(), rest, 2*time.Second)
+		if err != nil {
+			fmt.Println("ERROR:", err)
+			return
+		}
+		fmt.Print(out)
 	case strings.HasPrefix(upper, "EXPLAIN"):
 		rest := strings.TrimSpace(stmt[len("EXPLAIN"):])
 		out, err := engine.Explain(rest)

@@ -24,3 +24,7 @@ func TestErrDropFixture(t *testing.T) {
 func TestGoroutineSupervisionFixture(t *testing.T) {
 	checkFixture(t, "goroutine", GoroutineSupervision)
 }
+
+func TestTraceGuardFixture(t *testing.T) {
+	checkFixture(t, "traceguard", TraceGuard)
+}

@@ -8,6 +8,7 @@ func Suite() []*Analyzer {
 		HotpathAlloc,
 		LockDiscipline,
 		MetricsBinding,
+		TraceGuard,
 	}
 }
 

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TraceGuard enforces the tracing subsystem's hot-path contract: inside
+// //samzasql:hotpath functions, every call into internal/trace (span
+// recording, context construction, cursor methods) must sit inside an if
+// whose condition checks the sample bit — `if act.Sampled() { ... }` or
+// `if m.Trace.Sampled { ... }`. The Sampled check itself is the guard and
+// stays legal anywhere; everything else the package does (clock reads, span
+// recording, ID generation) is sampled-only work that must never run on the
+// unsampled fast path.
+var TraceGuard = &Analyzer{
+	Name: "trace-guard",
+	Doc: "calls into internal/trace inside //samzasql:hotpath functions must be guarded by a " +
+		"branch on the sample bit (if x.Sampled() or if x.Trace.Sampled); the unsampled path " +
+		"stays branch-only",
+	Run: runTraceGuard,
+}
+
+func runTraceGuard(pass *Pass) {
+	for _, decl := range pass.Pkg.HotPathFuncs() {
+		checkTraceGuard(pass, decl)
+	}
+}
+
+func checkTraceGuard(pass *Pass, decl *ast.FuncDecl) {
+	// Guarded regions: bodies of if statements whose condition mentions a
+	// Sampled identifier (method call or struct field — both spellings of
+	// the sample bit). Lexical containment is the check; an early-return
+	// inversion (`if !sampled { return }`) deliberately does not count, so
+	// the guarded work stays visibly bracketed.
+	var guarded []*ast.BlockStmt
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || !mentionsSampled(ifs.Cond) {
+			return true
+		}
+		guarded = append(guarded, ifs.Body)
+		return true
+	})
+	inGuard := func(n ast.Node) bool {
+		for _, b := range guarded {
+			if n.Pos() >= b.Pos() && n.End() <= b.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := traceCallee(pass, call)
+		if fn == nil || fn.Name() == "Sampled" || inGuard(call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "unguarded trace.%s call in //samzasql:hotpath function %s costs the unsampled path; branch on the sample bit first: if x.Sampled() { ... } or if x.Trace.Sampled { ... }", fn.Name(), decl.Name.Name)
+		return true
+	})
+}
+
+// mentionsSampled reports whether a condition references an identifier or
+// selector named Sampled.
+func mentionsSampled(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "Sampled" {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// traceCallee resolves call's target and returns it when it lives in the
+// internal/trace package (package functions and methods on its types alike).
+func traceCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.Info().Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/trace") {
+		return nil
+	}
+	return fn
+}

@@ -54,6 +54,14 @@ type Config struct {
 	// duration of each run — the hook `make profile` uses to capture CPU
 	// profiles of a live benchmark.
 	MetricsAddr string
+	// TraceSampleRate, when positive, samples roughly this fraction of
+	// produced messages into end-to-end span trees. Installed on the run's
+	// broker before the workload is produced, so pre-loaded messages carry
+	// trace contexts too. 0 keeps the hot path at a single branch.
+	TraceSampleRate float64
+	// TraceInterval overrides the per-container trace reporter period
+	// (0 = samza.DefaultTraceInterval whenever sampling is on).
+	TraceInterval time.Duration
 }
 
 // DefaultConfig returns the paper's setup scaled for in-process runs.
@@ -108,8 +116,13 @@ func newEnv(cfg Config) (*env, error) {
 	return &env{broker: broker, cluster: cluster, runner: runner, catalog: cat, engine: eng}, nil
 }
 
-// loadOrders pre-produces the Orders stream (excluded from timing).
+// loadOrders pre-produces the Orders stream (excluded from timing). Trace
+// sampling, when enabled, is installed first: contexts attach at produce
+// time, so the sampler must be live before the workload lands.
 func (e *env) loadOrders(cfg Config) error {
+	if cfg.TraceSampleRate > 0 {
+		e.broker.SetTraceSampling(cfg.TraceSampleRate)
+	}
 	ocfg := workload.DefaultOrdersConfig()
 	ocfg.Products = cfg.Products
 	_, err := workload.ProduceOrders(e.broker, "orders", cfg.Partitions, cfg.Messages, ocfg)
@@ -174,6 +187,8 @@ func RunNative(query string, cfg Config) (Result, error) {
 		StoreCacheSize:  cfg.StoreCacheSize,
 		WriteBatchSize:  cfg.WriteBatchSize,
 		MetricsInterval: cfg.MetricsInterval,
+		TraceSampleRate: cfg.TraceSampleRate,
+		TraceInterval:   cfg.TraceInterval,
 		Config:          map[string]string{},
 	}
 	switch query {
@@ -282,6 +297,8 @@ func RunSQL(query string, cfg Config) (Result, error) {
 	e.engine.StoreCacheSize = cfg.StoreCacheSize
 	e.engine.WriteBatchSize = cfg.WriteBatchSize
 	e.engine.MetricsInterval = cfg.MetricsInterval
+	e.engine.TraceSampleRate = cfg.TraceSampleRate
+	e.engine.TraceInterval = cfg.TraceInterval
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

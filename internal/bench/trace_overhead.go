@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceOverheadRates are the sample rates the overhead comparison sweeps:
+// off, the recommended production rate, and every-message.
+var TraceOverheadRates = []float64{0, 0.01, 1.0}
+
+// TraceOverheadRow is one measured (query, sample rate) point.
+type TraceOverheadRow struct {
+	Query string
+	Rate  float64
+	// Throughput is the best-of-rounds messages/second — best-of, not mean,
+	// so scheduler noise doesn't masquerade as tracing overhead.
+	Throughput float64
+	// OverheadPct is the throughput loss versus the rate-0 row of the same
+	// query, in percent (0 for the baseline itself).
+	OverheadPct float64
+}
+
+// RunTraceOverhead measures tracing overhead on the filter and
+// sliding-window benchmarks across TraceOverheadRates, taking the best of
+// rounds runs per point. The acceptance bar: the sampled-off rows must stay
+// within ~2% of an untraced build, and rate 0.01 should be close behind.
+func RunTraceOverhead(messages, rounds int) ([]TraceOverheadRow, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	var rows []TraceOverheadRow
+	for _, query := range []string{"filter", "window"} {
+		var baseline float64
+		for _, rate := range TraceOverheadRates {
+			cfg := DefaultConfig()
+			cfg.Messages = messages
+			cfg.TraceSampleRate = rate
+			best := 0.0
+			for i := 0; i < rounds; i++ {
+				res, err := RunSQL(query, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("bench: trace overhead %s rate %v: %w", query, rate, err)
+				}
+				if res.Throughput > best {
+					best = res.Throughput
+				}
+			}
+			row := TraceOverheadRow{Query: query, Rate: rate, Throughput: best}
+			if rate == 0 {
+				baseline = best
+			} else if baseline > 0 {
+				row.OverheadPct = (baseline - best) / baseline * 100
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatTraceOverhead renders the comparison as an aligned table.
+func FormatTraceOverhead(rows []TraceOverheadRow) string {
+	var b strings.Builder
+	b.WriteString("Tracing overhead (best-of-N throughput, msg/s)\n")
+	fmt.Fprintf(&b, "%-10s %12s %14s %10s\n", "query", "sample-rate", "throughput", "overhead")
+	for _, r := range rows {
+		overhead := "baseline"
+		if r.Rate != 0 {
+			overhead = fmt.Sprintf("%+.1f%%", r.OverheadPct)
+		}
+		fmt.Fprintf(&b, "%-10s %12v %14.0f %10s\n", r.Query, r.Rate, r.Throughput, overhead)
+	}
+	return b.String()
+}

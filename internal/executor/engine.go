@@ -59,6 +59,15 @@ type Engine struct {
 	// MetricsInterval, when positive, enables the per-container metrics
 	// snapshot reporter on submitted jobs (samza.JobSpec.MetricsInterval).
 	MetricsInterval time.Duration
+	// TraceSampleRate, when positive, enables end-to-end dataflow tracing
+	// on submitted jobs: the broker samples roughly this fraction of
+	// produced messages into span trees (samza.JobSpec.TraceSampleRate),
+	// published on the "__traces" stream and visible via /debug/traces and
+	// the shell's \trace. 0 keeps the hot path at a single branch.
+	TraceSampleRate float64
+	// TraceInterval overrides the per-container trace reporter period; 0
+	// uses samza.DefaultTraceInterval whenever sampling is enabled.
+	TraceInterval time.Duration
 
 	queryID atomic.Int64
 	reparts repartitionJobs
@@ -217,6 +226,8 @@ func (e *Engine) Submit(ctx context.Context, p *Prepared) (*Job, error) {
 		StoreCacheSize:  e.StoreCacheSize,
 		WriteBatchSize:  e.WriteBatchSize,
 		MetricsInterval: e.MetricsInterval,
+		TraceSampleRate: e.TraceSampleRate,
+		TraceInterval:   e.TraceInterval,
 		Config: map[string]string{
 			"samzasql.zk.query.path": zkQueryPath(p.JobName),
 			"samzasql.output.topic":  p.OutputTopic,
@@ -225,6 +236,12 @@ func (e *Engine) Submit(ctx context.Context, p *Prepared) (*Job, error) {
 		TaskFactory: func() samza.StreamTask {
 			return NewTask(e.Catalog, e.ZK, e.Optimize)
 		},
+	}
+	// Tracing is a broker-level concern (contexts attach at produce time);
+	// installing the sampler here keeps one knob for the whole pipeline,
+	// repartition stages included.
+	if e.TraceSampleRate > 0 {
+		e.Broker.SetTraceSampling(e.TraceSampleRate)
 	}
 	main, err := e.Runner.Submit(ctx, job)
 	if err != nil {

@@ -2,6 +2,7 @@ package executor
 
 import (
 	"fmt"
+	"time"
 
 	"samzasql/internal/operators"
 	"samzasql/internal/samza"
@@ -11,6 +12,7 @@ import (
 	"samzasql/internal/sql/physical"
 	"samzasql/internal/sql/plan"
 	"samzasql/internal/sql/validate"
+	"samzasql/internal/trace"
 	"samzasql/internal/zk"
 )
 
@@ -77,6 +79,7 @@ func (t *Task) Init(ctx *samza.TaskContext) error {
 		Store:     ctx.Store,
 		Partition: ctx.Partition,
 		Metrics:   ctx.Metrics,
+		Trace:     ctx.Trace,
 	})
 }
 
@@ -85,14 +88,24 @@ func (t *Task) Init(ctx *samza.TaskContext) error {
 // different collector (direct drivers in tests do).
 func (t *Task) bindSender(collector samza.MessageCollector) {
 	t.bound = collector
+	var act *trace.Active
+	if t.ctx != nil {
+		act = t.ctx.Trace
+	}
 	t.program.SetSender(func(stream string, partition int32, key, value []byte, ts int64) error {
-		return collector.Send(samza.OutgoingMessageEnvelope{
+		env := samza.OutgoingMessageEnvelope{
 			Stream:    stream,
 			Partition: partition,
 			Key:       key,
 			Value:     value,
 			Timestamp: ts,
-		})
+		}
+		// A message emitted mid-trace carries a child context, so the
+		// downstream consumer (a repartition hop) extends the same tree.
+		if act.Sampled() {
+			env.Trace = act.Outgoing(time.Now().UnixNano())
+		}
+		return collector.Send(env)
 	})
 }
 

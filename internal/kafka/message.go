@@ -9,7 +9,11 @@
 // streams backing Samza local state).
 package kafka
 
-import "fmt"
+import (
+	"fmt"
+
+	"samzasql/internal/trace"
+)
 
 // Message is a single record in a partition. Key and Value are opaque byte
 // slices; interpretation is left to serdes layered above the log.
@@ -27,6 +31,12 @@ type Message struct {
 	// Timestamp is the event time in Unix milliseconds as supplied by the
 	// producer. The log orders by offset, never by timestamp.
 	Timestamp int64
+	// Trace is the message's trace context (the moral equivalent of a trace
+	// record header). The zero value — every unsampled message — costs one
+	// bool check downstream. Attached by the broker at produce time when
+	// sampling is enabled (Broker.SetTraceSampling), or carried through from
+	// an upstream sampled message.
+	Trace trace.Context
 }
 
 // Size returns the retention-accounting size of the message in bytes.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"samzasql/internal/metrics"
+	"samzasql/internal/trace"
 )
 
 // instrumentedStore wraps a Store with per-operation latency histograms.
@@ -12,10 +13,19 @@ import (
 // store — no allocations, no registry lookups on the access path. The
 // paper's §5.1 observation that window/join throughput is KV-access bound
 // is exactly what these histograms make visible.
+//
+// When a tracing cursor is bound (BindTrace) and the current message is
+// sampled, each operation additionally records a trace leaf span from the
+// same timing — the store/changelog leg of the message's span tree. The
+// stage strings are precomputed here so the sampled path allocates nothing.
 type instrumentedStore struct {
 	raw                      Store
 	getLat, putLat, rangeLat *metrics.Histogram
 	deleteLat, flushLat      *metrics.Histogram
+
+	act *trace.Active
+	getStage, putStage, rangeStage,
+	deleteStage, flushStage string
 }
 
 // Instrument wraps s so that get/put/delete/range latencies are recorded
@@ -25,45 +35,77 @@ type instrumentedStore struct {
 func Instrument(s Store, reg *metrics.Registry, name string) Store {
 	prefix := "store." + name + "."
 	return &instrumentedStore{
-		raw:       s,
-		getLat:    reg.Histogram(prefix + "get-ns"),
-		putLat:    reg.Histogram(prefix + "put-ns"),
-		rangeLat:  reg.Histogram(prefix + "range-ns"),
-		deleteLat: reg.Histogram(prefix + "delete-ns"),
-		flushLat:  reg.Histogram(prefix + "flush-ns"),
+		raw:         s,
+		getLat:      reg.Histogram(prefix + "get-ns"),
+		putLat:      reg.Histogram(prefix + "put-ns"),
+		rangeLat:    reg.Histogram(prefix + "range-ns"),
+		deleteLat:   reg.Histogram(prefix + "delete-ns"),
+		flushLat:    reg.Histogram(prefix + "flush-ns"),
+		getStage:    prefix + "get",
+		putStage:    prefix + "put",
+		rangeStage:  prefix + "range",
+		deleteStage: prefix + "delete",
+		flushStage:  prefix + "flush",
+	}
+}
+
+// BindTrace attaches a tracing cursor to an instrumented store so its
+// operations record trace leaf spans for sampled messages. A no-op on
+// stores that are not the Instrument wrapper; safe to call before the
+// store serves traffic (binding is not synchronized).
+func BindTrace(s Store, act *trace.Active) {
+	if is, ok := s.(*instrumentedStore); ok {
+		is.act = act
 	}
 }
 
 func (s *instrumentedStore) Get(key []byte) ([]byte, bool) {
 	start := time.Now()
 	v, ok := s.raw.Get(key)
-	s.getLat.Observe(time.Since(start).Nanoseconds())
+	d := time.Since(start).Nanoseconds()
+	s.getLat.Observe(d)
+	if s.act.Sampled() {
+		s.act.Leaf(s.getStage, start.UnixNano(), d)
+	}
 	return v, ok
 }
 
 func (s *instrumentedStore) Put(key, value []byte) {
 	start := time.Now()
 	s.raw.Put(key, value)
-	s.putLat.Observe(time.Since(start).Nanoseconds())
+	d := time.Since(start).Nanoseconds()
+	s.putLat.Observe(d)
+	if s.act.Sampled() {
+		s.act.Leaf(s.putStage, start.UnixNano(), d)
+	}
 }
 
 func (s *instrumentedStore) Delete(key []byte) bool {
 	start := time.Now()
 	ok := s.raw.Delete(key)
-	s.deleteLat.Observe(time.Since(start).Nanoseconds())
+	d := time.Since(start).Nanoseconds()
+	s.deleteLat.Observe(d)
+	if s.act.Sampled() {
+		s.act.Leaf(s.deleteStage, start.UnixNano(), d)
+	}
 	return ok
 }
 
 func (s *instrumentedStore) Range(start, end []byte, limit int) []Entry {
 	t0 := time.Now()
 	out := s.raw.Range(start, end, limit)
-	s.rangeLat.Observe(time.Since(t0).Nanoseconds())
+	d := time.Since(t0).Nanoseconds()
+	s.rangeLat.Observe(d)
+	if s.act.Sampled() {
+		s.act.Leaf(s.rangeStage, t0.UnixNano(), d)
+	}
 	return out
 }
 
 // Flush forwards to the wrapped store's Flush when it buffers writes (a
 // ChangelogStore producing its batch), timing it; otherwise it is a no-op,
-// so an instrumented stack is always safely Flushable.
+// so an instrumented stack is always safely Flushable. Flushes run inside
+// the commit, so a sampled flush span nests under the commit span.
 func (s *instrumentedStore) Flush() error {
 	f, ok := s.raw.(Flushable)
 	if !ok {
@@ -71,7 +113,11 @@ func (s *instrumentedStore) Flush() error {
 	}
 	start := time.Now()
 	err := f.Flush()
-	s.flushLat.Observe(time.Since(start).Nanoseconds())
+	d := time.Since(start).Nanoseconds()
+	s.flushLat.Observe(d)
+	if s.act.Sampled() {
+		s.act.Leaf(s.flushStage, start.UnixNano(), d)
+	}
 	return err
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"samzasql/internal/metrics"
+	"samzasql/internal/trace"
 )
 
 // Instrumented wraps an operator with per-operator observability: a
@@ -19,12 +20,17 @@ type Instrumented struct {
 	name string
 	lat  *metrics.Histogram
 	out  *metrics.Counter
+	// act and stage support per-stage trace spans for sampled messages:
+	// the cursor binds at Open, the stage string is precomputed at
+	// construction so the sampled path allocates nothing.
+	act   *trace.Active
+	stage string
 }
 
 // NewInstrumented wraps op under the given stage name (unique within one
 // compiled program; the physical compiler suffixes repeated kinds).
 func NewInstrumented(name string, op Operator) *Instrumented {
-	return &Instrumented{Op: op, name: name}
+	return &Instrumented{Op: op, name: name, stage: "operator." + name}
 }
 
 // Name returns the stage name.
@@ -37,15 +43,29 @@ func (i *Instrumented) Open(ctx *OpContext) error {
 		i.lat = ctx.Metrics.Histogram("operator." + i.name + ".process-ns")
 		i.out = ctx.Metrics.Counter("operator." + i.name + ".out")
 	}
+	i.act = ctx.Trace
 	return i.Op.Open(ctx)
 }
 
 // Process implements Operator, timing the wrapped call. The emit chain is
 // expected to be pre-wrapped with WrapEmit so output counting costs no
-// per-tuple closure.
+// per-tuple closure. For sampled messages the same call is bracketed in a
+// per-stage trace span; nested operators nest via the call stack.
+//
+//samzasql:hotpath
 func (i *Instrumented) Process(side int, t *Tuple, emit Emit) error {
 	if i.lat == nil {
 		return i.Op.Process(side, t, emit)
+	}
+	if i.act.Sampled() {
+		start := time.Now()
+		startNs := start.UnixNano()
+		i.act.Begin(i.stage, startNs)
+		err := i.Op.Process(side, t, emit)
+		d := time.Since(start).Nanoseconds()
+		i.act.End(startNs + d)
+		i.lat.Observe(d)
+		return err
 	}
 	start := time.Now()
 	err := i.Op.Process(side, t, emit)

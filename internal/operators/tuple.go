@@ -8,6 +8,7 @@ package operators
 import (
 	"samzasql/internal/kv"
 	"samzasql/internal/metrics"
+	"samzasql/internal/trace"
 )
 
 // Tuple is one row in flight between operators: the tuple-as-array
@@ -37,6 +38,10 @@ type OpContext struct {
 	Partition int32
 	// Metrics is the container registry.
 	Metrics *metrics.Registry
+	// Trace is the task's tracing cursor; may be nil (bounded execution,
+	// tests). Hot-path uses must branch on Trace.Sampled() — nil-safe —
+	// before any other call (enforced by the samzasql-vet trace-guard rule).
+	Trace *trace.Active
 }
 
 // Operator is one stage of the router. Side distinguishes join inputs

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"samzasql/internal/kafka"
+	"samzasql/internal/trace"
 )
 
 // IncomingMessageEnvelope is one message delivered to a task's Process.
@@ -24,6 +25,9 @@ type IncomingMessageEnvelope struct {
 	Value []byte
 	// Timestamp is the producer-supplied event time (Unix millis).
 	Timestamp int64
+	// Trace is the message's trace context, copied from the underlying
+	// kafka.Message. Zero (one bool check) for unsampled messages.
+	Trace trace.Context
 }
 
 // TP returns the envelope's topic-partition.
@@ -45,6 +49,10 @@ type OutgoingMessageEnvelope struct {
 	Key       []byte
 	Value     []byte
 	Timestamp int64
+	// Trace, when sampled, links the produced message into the emitting
+	// task's trace (built via trace.Active.Outgoing). The zero value lets
+	// the broker's own sampler decide instead.
+	Trace trace.Context
 }
 
 // MessageCollector receives messages a task produces during Process.

@@ -11,6 +11,7 @@ import (
 	"samzasql/internal/kafka"
 	"samzasql/internal/kv"
 	"samzasql/internal/metrics"
+	"samzasql/internal/trace"
 )
 
 // TaskContext is handed to StreamTask.Init, exposing the task's identity,
@@ -31,6 +32,11 @@ type TaskContext struct {
 	// call, so tasks may capture it at Init and build per-task senders
 	// instead of rebinding per message.
 	Collector MessageCollector
+	// Trace is the task's tracing cursor. Always non-nil; when the current
+	// message is unsampled every method collapses to a bool check. Task
+	// code touching it from a hot path must branch on Trace.Sampled()
+	// first (enforced by the samzasql-vet trace-guard rule).
+	Trace *trace.Active
 
 	stores map[string]kv.Store
 }
@@ -63,6 +69,7 @@ func (c *collector) Send(env OutgoingMessageEnvelope) error {
 		Key:       env.Key,
 		Value:     env.Value,
 		Timestamp: env.Timestamp,
+		Trace:     env.Trace,
 	})
 	if err == nil {
 		c.sent.Inc()
@@ -113,6 +120,9 @@ type taskInstance struct {
 	// batch at once, and committing its position mid-batch would skip
 	// unprocessed messages after a crash.
 	delivered map[string]int64
+	// act is the task's tracing cursor (shared with ctx.Trace and the
+	// store stack), owned by the task goroutine like everything else here.
+	act *trace.Active
 	// procLat, winLat and commitLat are pre-bound per-task latency timers
 	// ("task.<name>.{process,window,commit}-ns"); hoisting them here keeps
 	// the per-message path free of registry lookups and allocations.
@@ -166,7 +176,20 @@ type Container struct {
 	// never takes the registry lock.
 	processed *metrics.Counter
 	commits   *metrics.Counter
+	// tracer collects completed spans from every task goroutine (lock-free
+	// ring) plus lifecycle events; recent assembles drained spans into
+	// whole traces for /debug/traces and the shell's \trace.
+	tracer *trace.Recorder
+	recent *trace.Recent
 }
+
+// traceRingSize bounds the per-container span ring: enough for the spans
+// of a few hundred sampled messages between reporter drains; overflow
+// drops spans (counted) rather than blocking a task goroutine.
+const traceRingSize = 4096
+
+// recentTraces bounds the assembled traces kept for /debug/traces.
+const recentTraces = 32
 
 // errStopRequested signals an orderly whole-container stop requested by a
 // task's Coordinator.Shutdown; the supervisor translates it into
@@ -182,6 +205,8 @@ func newContainer(id int, job *JobSpec, broker *kafka.Broker, cpm *CheckpointMan
 		broker:  broker,
 		cpm:     cpm,
 		Metrics: metrics.NewRegistry(),
+		tracer:  trace.NewRecorder(traceRingSize),
+		recent:  trace.NewRecent(recentTraces),
 	}
 	c.coll = &collector{broker: broker, sent: c.Metrics.Counter("messages-sent")}
 	c.processed = c.Metrics.Counter("messages-processed")
@@ -201,6 +226,7 @@ func newContainer(id int, job *JobSpec, broker *kafka.Broker, cpm *CheckpointMan
 
 func (c *Container) buildTask(partition, inputPartitions int32) (*taskInstance, error) {
 	name := TaskNameFor(partition)
+	act := trace.NewActive(c.tracer)
 	stores := map[string]kv.Store{}
 	var changelogs []*kv.ChangelogStore
 	var flushables []kv.Flushable
@@ -228,6 +254,10 @@ func (c *Container) buildTask(partition, inputPartitions int32) (*taskInstance, 
 			s = cl
 		}
 		s = kv.Instrument(s, c.Metrics, spec.Name)
+		// The instrumented layer already times every op; binding the task's
+		// cursor lets it double those timings as trace leaf spans when the
+		// current message is sampled.
+		kv.BindTrace(s, act)
 		if c.job.StoreCacheSize > 0 {
 			cached := kv.NewCachedStore(s, c.job.StoreCacheSize, batch)
 			cached.BindMetrics(c.Metrics, spec.Name)
@@ -245,6 +275,7 @@ func (c *Container) buildTask(partition, inputPartitions int32) (*taskInstance, 
 		Metrics:   c.Metrics,
 		Config:    c.job.Config,
 		Collector: c.coll,
+		Trace:     act,
 		stores:    stores,
 	}
 	consumer := kafka.NewConsumer(c.broker, c.job.Name)
@@ -256,6 +287,7 @@ func (c *Container) buildTask(partition, inputPartitions int32) (*taskInstance, 
 		ctx:        tctx,
 		changelog:  changelogs,
 		flushables: flushables,
+		act:        act,
 		delivered:  map[string]int64{},
 		procLat:    c.Metrics.Timer("task." + string(name) + ".process-ns"),
 		winLat:     c.Metrics.Timer("task." + string(name) + ".window-ns"),
@@ -326,13 +358,25 @@ func (c *Container) Run(ctx context.Context) error {
 			return fmt.Errorf("samza: %s init: %w", ti.name, err)
 		}
 	}
-	// Start the per-container metrics reporter (when configured) before the
-	// task loops, on its own context: it must outlive the tasks so the final
-	// flush after wg.Wait() captures complete end-of-run metrics.
+	// Start the per-container reporters (when configured) before the task
+	// loops, on their own context: they must outlive the tasks so the final
+	// flushes after wg.Wait() capture complete end-of-run metrics and the
+	// spans of the last sampled messages.
 	var (
 		repWG     sync.WaitGroup
 		repCancel context.CancelFunc
+		repCtx    context.Context
 	)
+	startReporter := func(run func(context.Context)) {
+		if repCancel == nil {
+			repCtx, repCancel = context.WithCancel(context.Background())
+		}
+		repWG.Add(1)
+		go func() {
+			defer repWG.Done()
+			run(repCtx)
+		}()
+	}
 	if c.job.MetricsInterval > 0 {
 		topic := c.job.MetricsTopicName()
 		if err := c.broker.EnsureTopic(topic, kafka.TopicConfig{Partitions: 1}); err != nil {
@@ -340,13 +384,22 @@ func (c *Container) Run(ctx context.Context) error {
 		}
 		rep := NewMetricsSnapshotReporter(c.broker, c.job.Name, c.ID, topic,
 			c.job.MetricsInterval, c.Metrics, func() { c.UpdateLags() })
-		var repCtx context.Context
-		repCtx, repCancel = context.WithCancel(context.Background())
-		repWG.Add(1)
-		go func() {
-			defer repWG.Done()
-			rep.Run(repCtx)
-		}()
+		startReporter(rep.Run)
+	}
+	if interval := c.traceInterval(); interval > 0 {
+		topic := c.job.TraceTopicName()
+		if err := c.broker.EnsureTopic(topic, kafka.TopicConfig{Partitions: 1}); err != nil {
+			return fmt.Errorf("samza: trace topic: %w", err)
+		}
+		rep := NewTraceReporter(c.broker, c.job.Name, c.ID, topic, interval, c.SyncTraces)
+		startReporter(rep.Run)
+	}
+	// Lifecycle events land in the same recorder as spans and publish on
+	// the trace stream, so trace anomalies correlate with runtime events.
+	now := time.Now().UnixNano()
+	c.tracer.Event(now, "container-start", fmt.Sprintf("%s container %d", c.job.Name, c.ID))
+	for _, ti := range c.tasks {
+		c.tracer.Event(now, "task-assigned", string(ti.name))
 	}
 	// Phases 4+5 run per task in a dedicated goroutine: drain bootstrap
 	// streams (§2 "Bootstrap Streams"), then the poll-process loop. The
@@ -380,11 +433,41 @@ func (c *Container) Run(ctx context.Context) error {
 		}(ti)
 	}
 	wg.Wait()
+	c.tracer.Event(time.Now().UnixNano(), "container-stop", fmt.Sprintf("%s container %d", c.job.Name, c.ID))
 	if repCancel != nil {
 		repCancel()
 		repWG.Wait()
 	}
 	return firstErr
+}
+
+// traceInterval resolves the trace reporter period: the job's explicit
+// setting, or the default whenever sampling is enabled without one.
+func (c *Container) traceInterval() time.Duration {
+	if c.job.TraceInterval > 0 {
+		return c.job.TraceInterval
+	}
+	if c.job.TraceSampleRate > 0 {
+		return DefaultTraceInterval
+	}
+	return 0
+}
+
+// SyncTraces drains the span ring into the container's recent-trace store
+// and returns the drained batch (spans, lifecycle events, drop count).
+// Called by the trace reporter each tick and by the introspection path on
+// demand; safe for concurrent use.
+func (c *Container) SyncTraces() ([]trace.Span, []trace.Event, int64) {
+	spans := c.tracer.Drain(nil)
+	c.recent.Add(spans)
+	return spans, c.tracer.DrainEvents(nil), c.tracer.TakeDropped()
+}
+
+// RecentTraces returns the most recently completed traces this container
+// observed, newest first.
+func (c *Container) RecentTraces() []*trace.TraceData {
+	c.SyncTraces()
+	return c.recent.Traces()
 }
 
 // runTask is one task's whole life inside a running container: bootstrap,
@@ -497,6 +580,9 @@ func (c *Container) pollTask(ctx context.Context, ti *taskInstance) (bool, error
 		}
 		defer func() { <-c.sem }()
 	}
+	// batchNs anchors the poll span of any sampled message in this batch:
+	// one time read per batch is the only unconditional tracing cost.
+	batchNs := time.Now().UnixNano()
 	// env and ti.coord are reused across the batch; Process receives the
 	// envelope by value, so reuse is invisible to the task.
 	env := IncomingMessageEnvelope{}
@@ -505,13 +591,20 @@ func (c *Container) pollTask(ctx context.Context, ti *taskInstance) (bool, error
 		env = IncomingMessageEnvelope{
 			Stream: m.Topic, Partition: m.Partition, Offset: m.Offset,
 			Key: m.Key, Value: m.Value, Timestamp: m.Timestamp,
+			Trace: m.Trace,
 		}
 		ti.coord.reset()
+		if m.Trace.Sampled {
+			ti.act.StartMessage(m.Trace, batchNs, time.Now().UnixNano())
+		}
 		start := ti.procLat.Start()
 		if err := ti.task.Process(env, c.coll, &ti.coord); err != nil {
 			return false, fmt.Errorf("samza: %s process: %w", ti.name, err)
 		}
 		ti.procLat.Stop(start)
+		if m.Trace.Sampled {
+			ti.act.FinishMessage(time.Now().UnixNano())
+		}
 		ti.delivered[env.Stream] = env.Offset + 1
 		c.processed.Inc()
 		ti.processed++
@@ -547,11 +640,20 @@ func (c *Container) pollTask(ctx context.Context, ti *taskInstance) (bool, error
 // restart replays at most the uncommitted suffix, and buffered writes that
 // never flushed are reproduced by that replay rather than lost.
 func (c *Container) commitTask(ti *taskInstance) error {
+	// A trace pending since the last sampled message closes here: the
+	// commit span re-activates it so the store and changelog flush spans
+	// recorded below nest underneath.
+	if ti.act.PendingCommit() {
+		ti.act.StartCommit(time.Now().UnixNano())
+	}
 	start := ti.commitLat.Start()
 	for _, f := range ti.flushables {
 		if err := f.Flush(); err != nil {
 			return fmt.Errorf("samza: %s store flush: %w", ti.name, err)
 		}
+	}
+	if len(ti.flushables) > 0 {
+		c.tracer.Event(time.Now().UnixNano(), "store-flush", string(ti.name))
 	}
 	cp := Checkpoint{Task: ti.name, Offsets: map[string]int64{}}
 	for topic, off := range ti.delivered {
@@ -562,6 +664,10 @@ func (c *Container) commitTask(ti *taskInstance) error {
 	}
 	c.commits.Inc()
 	ti.commitLat.Stop(start)
+	c.tracer.Event(time.Now().UnixNano(), "checkpoint-commit", string(ti.name))
+	if ti.act.Sampled() {
+		ti.act.FinishCommit(time.Now().UnixNano())
+	}
 	return nil
 }
 

@@ -85,6 +85,20 @@ type JobSpec struct {
 	// MetricsTopic overrides the metrics stream name; empty uses
 	// DefaultMetricsTopic.
 	MetricsTopic string
+	// TraceSampleRate, when positive, samples roughly this fraction of
+	// messages produced to the job's input topics into end-to-end traces
+	// (produce → poll → operators → store/changelog → commit). The runner
+	// installs the sampler on the broker at submit. 0 disables tracing;
+	// the hot path then pays a single branch per call site.
+	TraceSampleRate float64
+	// TraceInterval, when positive, runs a TraceReporter per container,
+	// draining the span ring onto the trace stream at this period (plus a
+	// final flush at stop). Defaults to DefaultTraceInterval whenever
+	// TraceSampleRate is set and this is 0.
+	TraceInterval time.Duration
+	// TraceTopic overrides the trace stream name; empty uses
+	// DefaultTraceTopic.
+	TraceTopic string
 	// Config carries arbitrary job configuration strings.
 	Config map[string]string
 }
@@ -95,6 +109,14 @@ func (j *JobSpec) MetricsTopicName() string {
 		return j.MetricsTopic
 	}
 	return DefaultMetricsTopic
+}
+
+// TraceTopicName resolves the trace stream this job publishes to.
+func (j *JobSpec) TraceTopicName() string {
+	if j.TraceTopic != "" {
+		return j.TraceTopic
+	}
+	return DefaultTraceTopic
 }
 
 // Validate checks the spec for structural problems.
@@ -113,6 +135,9 @@ func (j *JobSpec) Validate() error {
 	}
 	if j.StoreCacheSize < 0 {
 		return fmt.Errorf("samza: job %q has negative store cache size %d", j.Name, j.StoreCacheSize)
+	}
+	if j.TraceSampleRate < 0 || j.TraceSampleRate > 1 {
+		return fmt.Errorf("samza: job %q trace sample rate %v outside [0, 1]", j.Name, j.TraceSampleRate)
 	}
 	seen := map[string]bool{}
 	for _, in := range j.Inputs {

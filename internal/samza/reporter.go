@@ -147,6 +147,7 @@ func (r *MetricsSnapshotReporter) Run(ctx context.Context) {
 // tests asserting on published telemetry.
 type MetricsTailer struct {
 	consumer *kafka.Consumer
+	topic    string
 	s        serde.Serde
 }
 
@@ -160,7 +161,21 @@ func NewMetricsTailer(b *kafka.Broker, topic string) (*MetricsTailer, error) {
 	if err := c.Assign(kafka.TopicPartition{Topic: topic, Partition: 0}); err != nil {
 		return nil, fmt.Errorf("samza: metrics tailer assign: %w", err)
 	}
-	return &MetricsTailer{consumer: c, s: s}, nil
+	return &MetricsTailer{consumer: c, topic: topic, s: s}, nil
+}
+
+// BindLag registers the tailer's own consumer lag on the metrics stream as
+// a gauge ("tailer.lag.<topic>.0") in reg, so the observability pipeline
+// is itself observable. Call UpdateLag to refresh it.
+func (t *MetricsTailer) BindLag(reg *metrics.Registry) {
+	tp := kafka.TopicPartition{Topic: t.topic, Partition: 0}
+	t.consumer.BindLagGauge(tp, reg.Gauge(fmt.Sprintf("tailer.lag.%s.0", t.topic)))
+}
+
+// UpdateLag refreshes the bound lag gauge from the broker's high watermark
+// and returns the tailer's outstanding snapshots.
+func (t *MetricsTailer) UpdateLag() (int64, error) {
+	return t.consumer.UpdateLag()
 }
 
 // Poll returns up to max snapshots published since the last call, blocking

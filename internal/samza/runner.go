@@ -3,10 +3,15 @@ package samza
 import (
 	"context"
 	"fmt"
+	"io"
+	"sort"
 	"sync"
+	"time"
 
 	"samzasql/internal/kafka"
 	"samzasql/internal/metrics"
+	"samzasql/internal/serde"
+	"samzasql/internal/trace"
 	"samzasql/internal/yarn"
 )
 
@@ -22,11 +27,21 @@ type JobRunner struct {
 
 	mu   sync.Mutex
 	jobs []*RunningJob
+
+	// Runner-level lifecycle event log (job start/stop, YARN allocations
+	// and failures), published on the trace stream as Container -1 batches.
+	// Armed by the first tracing-enabled Submit or by EnableEventLog.
+	evMu    sync.Mutex
+	evOn    bool
+	evTopic string
+	evSeq   int64
 }
 
-// NewJobRunner builds a runner over the broker and cluster.
+// NewJobRunner builds a runner over the broker and cluster. The cluster's
+// lifecycle events (container allocations, exits, restarts, node deaths)
+// feed the runner's event log.
 func NewJobRunner(b *kafka.Broker, c *yarn.Cluster) *JobRunner {
-	return &JobRunner{
+	r := &JobRunner{
 		Broker:  b,
 		Cluster: c,
 		Resource: yarn.Resource{
@@ -34,12 +49,68 @@ func NewJobRunner(b *kafka.Broker, c *yarn.Cluster) *JobRunner {
 			MemoryMB: 1024,
 		},
 	}
+	c.SetEventHook(r.publishEvent)
+	return r
+}
+
+// EnableEventLog arms lifecycle-event publishing onto topic (empty means
+// DefaultTraceTopic). Submit arms it automatically for tracing-enabled jobs;
+// call this to capture job and YARN events without sampling any messages.
+func (r *JobRunner) EnableEventLog(topic string) {
+	if topic == "" {
+		topic = DefaultTraceTopic
+	}
+	r.evMu.Lock()
+	r.evOn = true
+	r.evTopic = topic
+	r.evMu.Unlock()
+}
+
+// publishEvent writes one lifecycle event to the trace stream as a
+// runner-level batch (Job "", Container -1). A no-op until the event log is
+// armed; publish errors are dropped — observability must never take down
+// the cluster it observes.
+func (r *JobRunner) publishEvent(kind, detail string) {
+	r.evMu.Lock()
+	if !r.evOn {
+		r.evMu.Unlock()
+		return
+	}
+	topic := r.evTopic
+	r.evSeq++
+	seq := r.evSeq
+	r.evMu.Unlock()
+	s, err := serde.Lookup("trace-batch")
+	if err != nil {
+		return
+	}
+	if err := r.Broker.EnsureTopic(topic, kafka.TopicConfig{Partitions: 1}); err != nil {
+		return
+	}
+	now := time.Now()
+	msg := &TraceBatchMessage{
+		Container:  -1,
+		TimeMillis: now.UnixMilli(),
+		Seq:        seq,
+		Events:     []trace.Event{{TimeNs: now.UnixNano(), Kind: kind, Detail: detail}},
+	}
+	data, err := s.Encode(msg)
+	if err != nil {
+		return
+	}
+	_, _ = r.Broker.Produce(topic, kafka.Message{
+		Partition: 0,
+		Key:       []byte("runner"),
+		Value:     data,
+		Timestamp: msg.TimeMillis,
+	})
 }
 
 // RunningJob is a handle to a submitted job.
 type RunningJob struct {
-	Spec *JobSpec
-	app  *yarn.Application
+	Spec   *JobSpec
+	app    *yarn.Application
+	runner *JobRunner
 
 	mu         sync.Mutex
 	containers []*Container
@@ -60,8 +131,12 @@ func (r *JobRunner) Submit(ctx context.Context, job *JobSpec) (*RunningJob, erro
 		return nil, err
 	}
 	inputPartitions := int32(len(a.taskPartitions))
+	if job.TraceSampleRate > 0 || job.TraceInterval > 0 {
+		r.EnableEventLog(job.TraceTopicName())
+	}
+	r.publishEvent("job-start", job.Name)
 
-	rj := &RunningJob{Spec: job}
+	rj := &RunningJob{Spec: job, runner: r}
 	specs := make([]yarn.ContainerSpec, len(a.containerTasks))
 	for ci, taskIdxs := range a.containerTasks {
 		partitions := make([]int32, len(taskIdxs))
@@ -109,7 +184,11 @@ func (r *JobRunner) Jobs() []*RunningJob {
 // Stop cancels all containers and waits for them to exit.
 func (j *RunningJob) Stop() []yarn.ContainerStatus {
 	j.app.Stop()
-	return j.app.Wait()
+	st := j.app.Wait()
+	if j.runner != nil {
+		j.runner.publishEvent("job-stop", j.Spec.Name)
+	}
+	return st
 }
 
 // Wait blocks until every container exits on its own (shutdown request or
@@ -156,6 +235,42 @@ func (j *RunningJob) UpdateLags() int64 {
 		total += c.UpdateLags()
 	}
 	return total
+}
+
+// RecentTraces merges the recent sampled span trees of every container
+// attempt, newest first. Syncs each container's ring into its recent-trace
+// store first, so spans not yet published still show.
+func (j *RunningJob) RecentTraces() []*trace.TraceData {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	lists := make([][]*trace.TraceData, 0, len(j.containers))
+	for _, c := range j.containers {
+		lists = append(lists, c.RecentTraces())
+	}
+	return trace.Merge(lists...)
+}
+
+// WriteTraces renders every job's recent sampled traces: a per-stage
+// critical-path breakdown followed by the newest span trees. Shared by the
+// /debug/traces endpoint and the shell's \trace command.
+func (r *JobRunner) WriteTraces(w io.Writer) {
+	jobs := r.Jobs()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Spec.Name < jobs[j].Spec.Name })
+	const maxTrees = 5
+	for _, j := range jobs {
+		fmt.Fprintf(w, "# job %s\n", j.Spec.Name)
+		traces := j.RecentTraces()
+		trace.WriteBreakdown(w, trace.Breakdown(traces))
+		for i, t := range traces {
+			if i >= maxTrees {
+				fmt.Fprintf(w, "... %d older traces elided\n", len(traces)-maxTrees)
+				break
+			}
+			fmt.Fprintln(w)
+			t.Format(w)
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // ContainerMetrics returns each live container attempt's registry.

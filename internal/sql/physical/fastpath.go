@@ -9,6 +9,7 @@ import (
 	"samzasql/internal/sql/catalog"
 	"samzasql/internal/sql/expr"
 	"samzasql/internal/sql/plan"
+	"samzasql/internal/trace"
 )
 
 // The fast path implements the paper's fifth future-work item (§7): "a
@@ -52,6 +53,9 @@ type fastProgram struct {
 	out      *metrics.Counter
 	bytesIn  *metrics.Counter
 	bytesOut *metrics.Counter
+	// act is the task's tracing cursor (nil without one); sampled messages
+	// record the fused chain as a single "operator.fastpath" span.
+	act *trace.Active
 }
 
 // fastBinder registers the fused handler with the router purely for the
@@ -69,6 +73,7 @@ func (b *fastBinder) Open(ctx *operators.OpContext) error {
 		b.fp.bytesIn = ctx.Metrics.Counter(operators.SerdeBytesInMetric)
 		b.fp.bytesOut = ctx.Metrics.Counter(operators.SerdeBytesOutMetric)
 	}
+	b.fp.act = ctx.Trace
 	return nil
 }
 
@@ -166,6 +171,7 @@ func (p *Program) tryFastPath(body plan.Node, target string) (bool, error) {
 	}
 
 	p.fast = fp
+	p.Stages = append(p.Stages, "fastpath")
 	p.Router.Register(&fastBinder{fp: fp})
 	p.Inputs = []*Input{{
 		Topic: scan.Object.Topic,
@@ -190,6 +196,12 @@ func tsIdxOf(o *catalog.Object) int {
 // atomics, keeping the fused path at 0 allocs/op with instrumentation on.
 func (f *fastProgram) handle(value, key []byte, ts int64, partition int32) error {
 	start := time.Now()
+	// Sampled messages bracket the fused chain in one span; the send runs
+	// inside it, so an outgoing trace context parents here.
+	if f.act.Sampled() {
+		defer f.closeSpan(start)
+		f.act.Begin("operator.fastpath", start.UnixNano())
+	}
 	if f.bytesIn != nil {
 		f.bytesIn.Add(int64(len(value)))
 	}
@@ -226,6 +238,12 @@ func (f *fastProgram) handle(value, key []byte, ts int64, partition int32) error
 		f.lat.Observe(time.Since(start).Nanoseconds())
 	}
 	return err
+}
+
+// closeSpan ends the fused stage's trace span, anchored to the same
+// monotonic start as the latency observation.
+func (f *fastProgram) closeSpan(start time.Time) {
+	f.act.End(start.UnixNano() + time.Since(start).Nanoseconds())
 }
 
 // walkCols visits the column references of a bound expression.

@@ -41,6 +41,11 @@ type Program struct {
 	Repartitions []*RepartitionSpec
 	// Streaming reports whether any scan is unbounded.
 	Streaming bool
+	// Stages lists the instrumented stage names in compile order (plus
+	// "fastpath" when the fused path compiles), the keys under which the
+	// registry holds "operator.<stage>.*" metrics — what EXPLAIN ANALYZE
+	// walks to annotate the plan with live counts and latencies.
+	Stages []string
 	// insert is the sink operator; its sender is bound via SetSender.
 	insert *operators.InsertOp
 	// aggregate is non-nil when the plan aggregates; the bounded executor
@@ -70,6 +75,7 @@ func (p *Program) instrument(kind string, op operators.Operator) *operators.Inst
 		name = fmt.Sprintf("%s#%d", kind, n)
 	}
 	inst := operators.NewInstrumented(name, op)
+	p.Stages = append(p.Stages, name)
 	p.Router.Register(inst)
 	return inst
 }

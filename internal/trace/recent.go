@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// TraceData is one assembled trace: every span observed so far for one
+// trace ID, in arrival order.
+type TraceData struct {
+	ID    uint64
+	Spans []Span
+}
+
+// startNs is the earliest span start — the trace's begin time.
+func (t *TraceData) startNs() int64 {
+	min := int64(0)
+	for i := range t.Spans {
+		if i == 0 || t.Spans[i].StartNs < min {
+			min = t.Spans[i].StartNs
+		}
+	}
+	return min
+}
+
+// DurationNs is the end-to-end wall-clock span of the trace.
+func (t *TraceData) DurationNs() int64 {
+	var min, max int64
+	for i := range t.Spans {
+		if i == 0 || t.Spans[i].StartNs < min {
+			min = t.Spans[i].StartNs
+		}
+		if i == 0 || t.Spans[i].EndNs > max {
+			max = t.Spans[i].EndNs
+		}
+	}
+	return max - min
+}
+
+// Recent keeps the last N distinct traces seen by a drain loop, assembling
+// spans by trace ID, for the /debug/traces endpoint and the shell's \trace
+// command. Bounded and mutex-guarded: it sits on the drain path, never the
+// record path.
+type Recent struct {
+	mu     sync.Mutex
+	cap    int
+	order  []uint64 // trace IDs, oldest first
+	traces map[uint64]*TraceData
+}
+
+// NewRecent builds a store keeping up to capacity traces (minimum 1).
+func NewRecent(capacity int) *Recent {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recent{cap: capacity, traces: map[uint64]*TraceData{}}
+}
+
+// Add folds drained spans into the per-trace buckets, evicting the oldest
+// trace when over capacity.
+func (r *Recent) Add(spans []Span) {
+	if len(spans) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range spans {
+		td, ok := r.traces[s.TraceID]
+		if !ok {
+			td = &TraceData{ID: s.TraceID}
+			r.traces[s.TraceID] = td
+			r.order = append(r.order, s.TraceID)
+			for len(r.order) > r.cap {
+				delete(r.traces, r.order[0])
+				r.order = r.order[1:]
+			}
+		}
+		td.Spans = append(td.Spans, s)
+	}
+}
+
+// Traces returns the retained traces, newest first, as deep copies safe to
+// read without holding the store's lock.
+func (r *Recent) Traces() []*TraceData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*TraceData, 0, len(r.order))
+	for i := len(r.order) - 1; i >= 0; i-- {
+		td := r.traces[r.order[i]]
+		cp := &TraceData{ID: td.ID, Spans: append([]Span(nil), td.Spans...)}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// StageStat aggregates one stage across a set of traces: how many spans,
+// their total inclusive time, their self time (inclusive minus children —
+// the critical-path attribution), and the worst single span.
+type StageStat struct {
+	Stage   string `json:"stage"`
+	Count   int    `json:"count"`
+	TotalNs int64  `json:"total-ns"`
+	SelfNs  int64  `json:"self-ns"`
+	MaxNs   int64  `json:"max-ns"`
+}
+
+// Breakdown computes per-stage critical-path statistics over the given
+// traces. Self time is a span's duration minus the durations of its direct
+// children (clamped at zero), so summing SelfNs across stages attributes
+// every nanosecond of a trace exactly once. A synthetic "queue-wait" stage
+// accounts the gap between a produce span and the poll that picked the
+// message up.
+func Breakdown(traces []*TraceData) []StageStat {
+	acc := map[string]*StageStat{}
+	observe := func(stage string, selfNs, totalNs int64) {
+		st, ok := acc[stage]
+		if !ok {
+			st = &StageStat{Stage: stage}
+			acc[stage] = st
+		}
+		st.Count++
+		st.TotalNs += totalNs
+		st.SelfNs += selfNs
+		if totalNs > st.MaxNs {
+			st.MaxNs = totalNs
+		}
+	}
+	for _, td := range traces {
+		childNs := map[uint64]int64{}
+		endNs := map[uint64]int64{}
+		for i := range td.Spans {
+			s := &td.Spans[i]
+			childNs[s.ParentID] += s.DurationNs()
+			endNs[s.SpanID] = s.EndNs
+		}
+		for i := range td.Spans {
+			s := &td.Spans[i]
+			self := s.DurationNs() - childNs[s.SpanID]
+			if self < 0 {
+				self = 0
+			}
+			observe(s.Stage, self, s.DurationNs())
+			if s.Stage == "poll" {
+				if prodEnd, ok := endNs[s.ParentID]; ok && s.StartNs > prodEnd {
+					wait := s.StartNs - prodEnd
+					observe("queue-wait", wait, wait)
+				}
+			}
+		}
+	}
+	out := make([]StageStat, 0, len(acc))
+	for _, st := range acc {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SelfNs > out[j].SelfNs })
+	return out
+}
+
+// WriteBreakdown renders the stats as an aligned text table.
+func WriteBreakdown(w io.Writer, stats []StageStat) {
+	if len(stats) == 0 {
+		fmt.Fprintln(w, "(no sampled traces yet)")
+		return
+	}
+	fmt.Fprintf(w, "%-28s %8s %12s %12s %12s\n", "stage", "spans", "self-us", "total-us", "max-us")
+	for _, st := range stats {
+		fmt.Fprintf(w, "%-28s %8d %12.1f %12.1f %12.1f\n",
+			st.Stage, st.Count,
+			float64(st.SelfNs)/1e3, float64(st.TotalNs)/1e3, float64(st.MaxNs)/1e3)
+	}
+}
+
+// Format renders the trace as an indented span tree ordered by start time,
+// with durations and start offsets relative to the trace root.
+func (t *TraceData) Format(w io.Writer) {
+	fmt.Fprintf(w, "trace %d  (%d spans, %.1fus end-to-end)\n",
+		t.ID, len(t.Spans), float64(t.DurationNs())/1e3)
+	base := t.startNs()
+	children := map[uint64][]*Span{}
+	ids := map[uint64]bool{}
+	for i := range t.Spans {
+		ids[t.Spans[i].SpanID] = true
+	}
+	var roots []*Span
+	for i := range t.Spans {
+		s := &t.Spans[i]
+		if s.ParentID != 0 && ids[s.ParentID] {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	byStart := func(list []*Span) {
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].StartNs != list[j].StartNs {
+				return list[i].StartNs < list[j].StartNs
+			}
+			return list[i].SpanID < list[j].SpanID
+		})
+	}
+	byStart(roots)
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		for i := 0; i < depth; i++ {
+			io.WriteString(w, "  ")
+		}
+		fmt.Fprintf(w, "%-*s +%.1fus %.1fus\n", 30-2*depth, s.Stage,
+			float64(s.StartNs-base)/1e3, float64(s.DurationNs())/1e3)
+		kids := children[s.SpanID]
+		byStart(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 1)
+	}
+}
+
+// Merge combines per-container trace lists, concatenating span lists for
+// traces that crossed containers (repartition hops), newest first.
+func Merge(lists ...[]*TraceData) []*TraceData {
+	byID := map[uint64]*TraceData{}
+	var order []uint64
+	for _, list := range lists {
+		for _, td := range list {
+			got, ok := byID[td.ID]
+			if !ok {
+				byID[td.ID] = &TraceData{ID: td.ID, Spans: append([]Span(nil), td.Spans...)}
+				order = append(order, td.ID)
+				continue
+			}
+			got.Spans = append(got.Spans, td.Spans...)
+		}
+	}
+	out := make([]*TraceData, 0, len(order))
+	for _, id := range order {
+		out = append(out, byID[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].startNs() > out[j].startNs() })
+	return out
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// maxEvents bounds the recorder's lifecycle-event buffer between drains.
+// Events past the bound are dropped (and counted) rather than growing
+// without a consumer.
+const maxEvents = 4096
+
+// Recorder collects completed spans from every task goroutine of a
+// container into a bounded lock-free ring (a Vyukov-style MPMC queue
+// restricted to one drainer at a time), plus a small mutex-guarded
+// lifecycle-event buffer for the cold control-plane path. When the ring is
+// full, new spans are dropped and counted: tracing must never block or
+// stall the pipeline it observes.
+type slot struct {
+	// seq is the slot's sequence number: equal to the slot's ring position
+	// when free for the writer of that lap, position+1 once the span is
+	// published for the reader.
+	seq  atomic.Uint64
+	span Span
+}
+
+// Recorder is safe for concurrent Record from any number of goroutines;
+// Drain serializes readers internally.
+type Recorder struct {
+	slots []slot
+	mask  uint64
+	enq   atomic.Uint64
+
+	// deqMu serializes drainers; deq is the next position to read.
+	deqMu sync.Mutex
+	deq   uint64
+
+	dropped atomic.Int64
+
+	evMu      sync.Mutex
+	events    []Event
+	evDropped int64
+}
+
+// NewRecorder builds a recorder whose ring holds at least capacity spans
+// (rounded up to a power of two, minimum 2).
+func NewRecorder(capacity int) *Recorder {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	r := &Recorder{slots: make([]slot, n), mask: uint64(n - 1)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Record enqueues a completed span. Lock-free; when the ring is full the
+// span is dropped and counted instead of blocking the recording goroutine.
+func (r *Recorder) Record(span Span) {
+	for {
+		pos := r.enq.Load()
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.span = span
+				s.seq.Store(pos + 1)
+				return
+			}
+		case seq < pos:
+			// The slot still holds last lap's span: the ring is full.
+			r.dropped.Add(1)
+			return
+		}
+		// seq > pos: another producer claimed this position; reload and retry.
+	}
+}
+
+// Drain appends every published span to dst and frees the slots. A span
+// whose writer claimed a slot but has not finished publishing is left for
+// the next drain.
+func (r *Recorder) Drain(dst []Span) []Span {
+	r.deqMu.Lock()
+	defer r.deqMu.Unlock()
+	for {
+		pos := r.deq
+		s := &r.slots[pos&r.mask]
+		if s.seq.Load() != pos+1 {
+			return dst
+		}
+		dst = append(dst, s.span)
+		s.seq.Store(pos + uint64(len(r.slots)))
+		r.deq = pos + 1
+	}
+}
+
+// Event records one lifecycle event. This is the cold control-plane path
+// (job/container/task transitions, commits, flushes) — mutex-guarded and
+// allocating; it must not be called per message.
+func (r *Recorder) Event(nowNs int64, kind, detail string) {
+	r.evMu.Lock()
+	if len(r.events) < maxEvents {
+		r.events = append(r.events, Event{TimeNs: nowNs, Kind: kind, Detail: detail})
+	} else {
+		r.evDropped++
+	}
+	r.evMu.Unlock()
+}
+
+// DrainEvents appends all buffered events to dst and clears the buffer.
+func (r *Recorder) DrainEvents(dst []Event) []Event {
+	r.evMu.Lock()
+	defer r.evMu.Unlock()
+	dst = append(dst, r.events...)
+	r.events = r.events[:0]
+	return dst
+}
+
+// TakeDropped returns the spans+events dropped since the last call and
+// resets the counter, for publication alongside a drained batch.
+func (r *Recorder) TakeDropped() int64 {
+	n := r.dropped.Swap(0)
+	r.evMu.Lock()
+	n += r.evDropped
+	r.evDropped = 0
+	r.evMu.Unlock()
+	return n
+}

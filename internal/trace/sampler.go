@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Sampler decides which produced messages start a trace. It is a counting
+// sampler: a rate of r samples every round(1/r)-th message, so the decision
+// is one atomic add — no random source, no time read — and low rates still
+// sample deterministically often rather than in bursts.
+//
+// A nil *Sampler never samples, so callers hold one behind an
+// atomic.Pointer and skip all tracing work when it is nil.
+type Sampler struct {
+	every uint64
+	n     atomic.Uint64
+}
+
+// NewSampler builds a sampler for the given rate in (0, 1]. Rates <= 0
+// return nil (sampling disabled); rates > 1 are clamped to 1 (every
+// message).
+func NewSampler(rate float64) *Sampler {
+	if rate <= 0 || math.IsNaN(rate) {
+		return nil
+	}
+	every := uint64(math.Round(1 / rate))
+	if every < 1 {
+		every = 1
+	}
+	return &Sampler{every: every}
+}
+
+// Sample reports whether the next message should be traced. Safe for
+// concurrent use; nil receivers never sample.
+func (s *Sampler) Sample() bool {
+	if s == nil {
+		return false
+	}
+	return s.n.Add(1)%s.every == 0
+}
+
+// Interval reports the sampling interval (one trace per Interval messages);
+// 0 for a nil sampler.
+func (s *Sampler) Interval() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.every
+}

@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSamplerCadence(t *testing.T) {
+	if s := NewSampler(0); s != nil {
+		t.Fatalf("rate 0 should disable sampling, got interval %d", s.Interval())
+	}
+	if s := NewSampler(-1); s.Sample() {
+		t.Fatal("nil sampler sampled")
+	}
+	s := NewSampler(0.01)
+	if s.Interval() != 100 {
+		t.Fatalf("rate 0.01 interval = %d, want 100", s.Interval())
+	}
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if s.Sample() {
+			hits++
+		}
+	}
+	if hits != 10 {
+		t.Fatalf("rate 0.01 over 1000 messages sampled %d, want 10", hits)
+	}
+	all := NewSampler(1.0)
+	for i := 0; i < 5; i++ {
+		if !all.Sample() {
+			t.Fatal("rate 1.0 skipped a message")
+		}
+	}
+	if NewSampler(7).Interval() != 1 {
+		t.Fatal("rates above 1 should clamp to every message")
+	}
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 1; i <= 3; i++ {
+		r.Record(Span{TraceID: 1, SpanID: uint64(i), Stage: "s"})
+	}
+	got := r.Drain(nil)
+	if len(got) != 3 {
+		t.Fatalf("drained %d spans, want 3", len(got))
+	}
+	for i, s := range got {
+		if s.SpanID != uint64(i+1) {
+			t.Fatalf("span %d has ID %d, want FIFO order", i, s.SpanID)
+		}
+	}
+	if d := r.TakeDropped(); d != 0 {
+		t.Fatalf("dropped %d, want 0", d)
+	}
+}
+
+func TestRecorderDropsWhenFull(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Span{SpanID: uint64(i)})
+	}
+	got := r.Drain(nil)
+	if len(got) != 4 {
+		t.Fatalf("ring of 4 retained %d spans", len(got))
+	}
+	if d := r.TakeDropped(); d != 6 {
+		t.Fatalf("dropped = %d, want 6", d)
+	}
+	// The ring frees up after a drain.
+	r.Record(Span{SpanID: 99})
+	if got = r.Drain(nil); len(got) != 1 || got[0].SpanID != 99 {
+		t.Fatalf("post-drain record lost: %v", got)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	const writers, perWriter = 8, 2000
+	r := NewRecorder(1024)
+	var wg sync.WaitGroup
+	var total sync.WaitGroup
+	seen := make(chan int, 64)
+	total.Add(1)
+	go func() {
+		defer total.Done()
+		n := 0
+		for c := range seen {
+			n += c
+		}
+		if drained := n + int(r.TakeDropped()); drained != writers*perWriter {
+			t.Errorf("drained+dropped = %d, want %d", drained, writers*perWriter)
+		}
+	}()
+	var drainWG sync.WaitGroup
+	stop := make(chan struct{})
+	drainWG.Add(1)
+	go func() {
+		defer drainWG.Done()
+		var buf []Span
+		for {
+			buf = r.Drain(buf[:0])
+			seen <- len(buf)
+			select {
+			case <-stop:
+				buf = r.Drain(buf[:0])
+				seen <- len(buf)
+				return
+			default:
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Record(Span{TraceID: uint64(w), SpanID: uint64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	drainWG.Wait()
+	close(seen)
+	total.Wait()
+}
+
+func TestActiveSpanTree(t *testing.T) {
+	rec := NewRecorder(64)
+	a := NewActive(rec)
+	if a.Sampled() {
+		t.Fatal("fresh Active is sampled")
+	}
+	ctx := NewRoot(1000)
+	a.StartMessage(ctx, 2000, 2100)
+	if !a.Sampled() {
+		t.Fatal("StartMessage did not activate the trace")
+	}
+	a.Begin("operator.filter", 2200)
+	a.Leaf("store.s.put", 2250, 30)
+	out := a.Outgoing(2280)
+	if !out.Sampled || out.TraceID != ctx.TraceID {
+		t.Fatalf("Outgoing context %+v not in trace %d", out, ctx.TraceID)
+	}
+	a.End(2300)
+	a.FinishMessage(2400)
+	if a.Sampled() {
+		t.Fatal("trace still active after FinishMessage")
+	}
+	if !a.PendingCommit() {
+		t.Fatal("no pending commit after FinishMessage")
+	}
+	a.StartCommit(3000)
+	a.Leaf("store.s.flush", 3010, 50)
+	a.FinishCommit(3100)
+	if a.PendingCommit() {
+		t.Fatal("commit did not clear the pending trace")
+	}
+
+	spans := rec.Drain(nil)
+	byStage := map[string]Span{}
+	for _, s := range spans {
+		byStage[s.Stage] = s
+	}
+	for _, want := range []string{"produce", "poll", "process", "operator.filter", "store.s.put", "commit", "store.s.flush"} {
+		if _, ok := byStage[want]; !ok {
+			t.Fatalf("missing %q span; got %v", want, spans)
+		}
+	}
+	if got := byStage["poll"].ParentID; got != ctx.SpanID {
+		t.Fatalf("poll parent = %d, want produce span %d", got, ctx.SpanID)
+	}
+	proc := byStage["process"]
+	if proc.ParentID != byStage["poll"].SpanID {
+		t.Fatal("process span not parented under poll")
+	}
+	if byStage["operator.filter"].ParentID != proc.SpanID {
+		t.Fatal("operator span not parented under process")
+	}
+	if byStage["store.s.put"].ParentID != byStage["operator.filter"].SpanID {
+		t.Fatal("store leaf not parented under the open operator span")
+	}
+	if out.ParentID != byStage["operator.filter"].SpanID {
+		t.Fatal("outgoing context not parented under the emitting operator")
+	}
+	commit := byStage["commit"]
+	if commit.ParentID != proc.SpanID {
+		t.Fatal("commit span not parented under the last process span")
+	}
+	if byStage["store.s.flush"].ParentID != commit.SpanID {
+		t.Fatal("flush leaf not parented under the commit span")
+	}
+	for _, s := range spans {
+		if s.TraceID != ctx.TraceID {
+			t.Fatalf("span %+v escaped trace %d", s, ctx.TraceID)
+		}
+	}
+}
+
+func TestActiveNilAndUnsampledAreNoops(t *testing.T) {
+	var a *Active
+	if a.Sampled() || a.PendingCommit() {
+		t.Fatal("nil Active reports activity")
+	}
+	a.StartMessage(Context{Sampled: true, TraceID: 1}, 0, 0)
+	a.Begin("x", 0)
+	a.End(0)
+	a.Leaf("x", 0, 0)
+	a.FinishMessage(0)
+	a.StartCommit(0)
+	a.FinishCommit(0)
+	if a.Outgoing(0).Sampled {
+		t.Fatal("nil Active produced a sampled outgoing context")
+	}
+
+	rec := NewRecorder(8)
+	b := NewActive(rec)
+	b.StartMessage(Context{}, 0, 0) // unsampled context
+	b.Begin("x", 0)
+	b.End(0)
+	b.FinishMessage(0)
+	if spans := rec.Drain(nil); len(spans) != 0 {
+		t.Fatalf("unsampled message recorded %d spans", len(spans))
+	}
+}
+
+func TestRecentAndBreakdown(t *testing.T) {
+	r := NewRecent(2)
+	mk := func(trace uint64, startNs int64) []Span {
+		produce := Span{TraceID: trace, SpanID: trace*10 + 1, Stage: "produce", StartNs: startNs, EndNs: startNs}
+		poll := Span{TraceID: trace, SpanID: trace*10 + 2, ParentID: produce.SpanID, Stage: "poll", StartNs: startNs + 100, EndNs: startNs + 150}
+		proc := Span{TraceID: trace, SpanID: trace*10 + 3, ParentID: poll.SpanID, Stage: "process", StartNs: startNs + 150, EndNs: startNs + 450}
+		op := Span{TraceID: trace, SpanID: trace*10 + 4, ParentID: proc.SpanID, Stage: "operator.filter", StartNs: startNs + 200, EndNs: startNs + 400}
+		return []Span{produce, poll, proc, op}
+	}
+	r.Add(mk(1, 0))
+	r.Add(mk(2, 1000))
+	r.Add(mk(3, 2000))
+	traces := r.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("capacity 2 retained %d traces", len(traces))
+	}
+	if traces[0].ID != 3 || traces[1].ID != 2 {
+		t.Fatalf("want newest-first [3 2], got [%d %d]", traces[0].ID, traces[1].ID)
+	}
+
+	stats := Breakdown(traces)
+	byStage := map[string]StageStat{}
+	for _, st := range stats {
+		byStage[st.Stage] = st
+	}
+	if st := byStage["process"]; st.Count != 2 || st.SelfNs != 2*(300-200) {
+		t.Fatalf("process self time wrong: %+v", st)
+	}
+	if st := byStage["queue-wait"]; st.Count != 2 || st.SelfNs != 200 {
+		t.Fatalf("queue-wait not attributed: %+v", st)
+	}
+
+	var tree strings.Builder
+	traces[0].Format(&tree)
+	for _, want := range []string{"produce", "poll", "process", "operator.filter"} {
+		if !strings.Contains(tree.String(), want) {
+			t.Fatalf("formatted tree missing %q:\n%s", want, tree.String())
+		}
+	}
+	var tbl strings.Builder
+	WriteBreakdown(&tbl, stats)
+	if !strings.Contains(tbl.String(), "operator.filter") {
+		t.Fatalf("breakdown table missing stage:\n%s", tbl.String())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []*TraceData{{ID: 1, Spans: []Span{{TraceID: 1, SpanID: 1, StartNs: 10}}}}
+	b := []*TraceData{
+		{ID: 1, Spans: []Span{{TraceID: 1, SpanID: 2, StartNs: 20}}},
+		{ID: 2, Spans: []Span{{TraceID: 2, SpanID: 3, StartNs: 50}}},
+	}
+	got := Merge(a, b)
+	if len(got) != 2 {
+		t.Fatalf("merged %d traces, want 2", len(got))
+	}
+	if got[0].ID != 2 {
+		t.Fatalf("want newest trace first, got %d", got[0].ID)
+	}
+	if len(got[1].Spans) != 2 {
+		t.Fatalf("cross-container trace not combined: %d spans", len(got[1].Spans))
+	}
+}
