@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet vet-custom race verify ci bench bench-figures profile trace-overhead
+.PHONY: build test vet vet-custom race verify ci bench bench-figures bench-compare profile trace-overhead
 
 build:
 	$(GO) build ./...
@@ -34,9 +34,10 @@ ci: build
 	$(GO) run ./cmd/samzasql-vet ./...
 	$(GO) test -race ./...
 
-# Messages per figure run for the JSON report (small enough to keep `make
-# bench` in the minutes range; raise for publication-quality numbers).
-BENCH_MESSAGES ?= 50000
+# Messages per figure run for the JSON report. Short runs are dominated by
+# startup noise (ratios can swing 2x between 20k and 100k messages), so the
+# default is the smallest count that gives stable sql_native_ratio values.
+BENCH_MESSAGES ?= 100000
 
 # Quick container/hot-path benchmarks plus the machine-readable figure
 # report: regenerates every paper figure and the sliding-window store-tuning
@@ -51,6 +52,19 @@ bench:
 # Full paper-figure regeneration (slow; see also cmd/samzasql-bench).
 bench-figures:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Messages per figure run for the regression comparison. Must match the
+# conditions of the committed BENCH_results.json (made with BENCH_MESSAGES):
+# shorter runs skew ratios enough to read as spurious regressions.
+COMPARE_MESSAGES ?= $(BENCH_MESSAGES)
+
+# Regression guard: re-measure the four figure sweeps and diff
+# sql_native_ratio per (figure, containers) point against the committed
+# BENCH_results.json. Exits 3 when any point drops more than 10%. CI runs
+# this as a non-blocking step so batch-path wins (and future losses) show up
+# in PRs without shared-runner noise blocking merges.
+bench-compare:
+	$(GO) run ./cmd/samzasql-bench -figure figures -messages $(COMPARE_MESSAGES) -compare BENCH_results.json
 
 # Tracing-overhead report: first re-pin the unsampled hot paths at 0
 # allocs/op with the tracing cursor bound, then the best-of-5

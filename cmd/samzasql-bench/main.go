@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		figure     = flag.String("figure", "all", "figure to regenerate: 5a, 5b, 5c, 6, state, trace, loc or all")
+		figure     = flag.String("figure", "all", "figure to regenerate: 5a, 5b, 5c, 6, figures (all four), state, trace, loc or all")
 		messages   = flag.Int("messages", 200_000, "orders messages per run")
 		partitions = flag.Int("partitions", 32, "partitions per topic (paper: 32)")
 		products   = flag.Int("products", 100, "products relation cardinality")
@@ -35,7 +35,9 @@ func main() {
 		writeBatch = flag.Int("write-batch", 0, "batch store/changelog writes until commit, capped at this many dirty keys (0 = write-through mirroring)")
 		traceRate  = flag.Float64("trace-sample-rate", 0, "sample roughly this fraction of produced messages into end-to-end span trees (0 = tracing off)")
 		traceRnds  = flag.Int("trace-rounds", 5, "rounds per point for -figure trace (best-of comparison)")
+		batchSize  = flag.Int("batch-size", 0, "vectorized delivery granularity for SamzaSQL jobs: messages per columnar block (0 = framework default, -1 = per-message scalar path)")
 		jsonPath   = flag.String("json", "", "also write the measured series as machine-readable JSON to this path (e.g. BENCH_results.json)")
+		compare    = flag.String("compare", "", "diff measured sql_native_ratio per figure against this baseline JSON report (e.g. the committed BENCH_results.json); exits 3 on a >10% regression")
 	)
 	flag.Parse()
 
@@ -58,6 +60,10 @@ func main() {
 		fatalf("bad -trace-sample-rate value %v (want [0, 1])", *traceRate)
 	}
 	cfg.TraceSampleRate = *traceRate
+	if *batchSize < -1 {
+		fatalf("bad -batch-size value %d (want >= -1)", *batchSize)
+	}
+	cfg.BatchSize = *batchSize
 
 	var sweep []int
 	if *containers != "" {
@@ -122,6 +128,10 @@ func main() {
 		}
 		runStoreTuning()
 		printLOC()
+	case "figures":
+		for _, spec := range bench.Figures {
+			runOne(spec)
+		}
 	case "state":
 		runStoreTuning()
 	case "trace":
@@ -131,7 +141,7 @@ func main() {
 	default:
 		spec, ok := bench.FigureByID(*figure)
 		if !ok {
-			fatalf("unknown figure %q (want 5a, 5b, 5c, 6, state, trace, loc or all)", *figure)
+			fatalf("unknown figure %q (want 5a, 5b, 5c, 6, figures, state, trace, loc or all)", *figure)
 		}
 		runOne(spec)
 	}
@@ -140,6 +150,17 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if *compare != "" {
+		baseline, err := bench.ReadReport(*compare)
+		if err != nil {
+			fatalf("compare baseline: %v", err)
+		}
+		table, regressed := bench.FormatComparison(bench.CompareReports(baseline, report, 0.10))
+		fmt.Printf("ratio comparison vs %s (>10%% drops flagged):\n%s", *compare, table)
+		if regressed {
+			os.Exit(3)
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -38,6 +38,7 @@ func main() {
 		storeCache = flag.Int("store-cache", 0, "wrap task stores of submitted jobs in an LRU object cache of this many entries (0 = per-tuple store path)")
 		writeBatch = flag.Int("write-batch", 0, "batch store/changelog writes until commit, capped at this many dirty keys (0 = write-through mirroring)")
 		traceRate  = flag.Float64("trace-sample-rate", 0, "sample roughly this fraction of produced messages into end-to-end span trees (0 = tracing off; see \\trace and EXPLAIN ANALYZE)")
+		batchSize  = flag.Int("batch-size", 0, "vectorized delivery granularity for submitted jobs: messages per columnar block (0 = framework default, -1 = per-message scalar path)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,10 @@ func main() {
 		fatalf("bad -trace-sample-rate value %v (want [0, 1])", *traceRate)
 	}
 	engine.TraceSampleRate = *traceRate
+	if *batchSize < -1 {
+		fatalf("bad -batch-size value %d (want >= -1)", *batchSize)
+	}
+	engine.BatchSize = *batchSize
 	if *traceRate > 0 {
 		// Trace contexts attach at produce time, so the sampler must be on
 		// the broker before the demo data (or any piped INSERTs) land.

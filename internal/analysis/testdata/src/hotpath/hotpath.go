@@ -49,6 +49,33 @@ func suppressed(key string, n int) string {
 	return fmt.Sprintf("%s-%d", key, n) // want-suppressed `fmt\.Sprintf in a //samzasql:hotpath function`
 }
 
+// processBlock documents the vectorized-execution granularity: one
+// allocation per *block* is the allowed unit, per-row allocations inside the
+// row loop are not. Slice construction (the per-block value slab the broker
+// retains), append growth, and boxing into slice elements (columnar []any
+// scatter) are all legal; the per-row patterns above remain banned even when
+// the function processes blocks.
+//
+//samzasql:hotpath
+func processBlock(rows []int, keys []string) [][]any {
+	// Fresh slab per block: the downstream broker retains the value slices,
+	// so this cannot be hoisted. One make per block, not per row.
+	slab := make([]byte, 0, 1024)
+	cols := make([][]any, 1)
+	cols[0] = make([]any, len(rows))
+	for r, v := range rows {
+		slab = append(slab, byte(v))
+		// Boxing into a slice element is the columnar scatter pattern; only
+		// boxing into interface *call arguments* is flagged.
+		cols[0][r] = v
+		_ = fmt.Sprintf("row-%d", v) // want `fmt\.Sprintf in a //samzasql:hotpath function`
+		sink(v)                      // want `passing int as interface argument 0 boxes it`
+		_ = keys[r] + "!"            // want `string concatenation in //samzasql:hotpath function processBlock`
+	}
+	_ = slab
+	return cols
+}
+
 // cold has no annotation: the same patterns are legal here.
 func cold(key string, n int) string {
 	m := make(map[string]int)

@@ -584,3 +584,22 @@ func (c *Codec) ProjectFields(data []byte, names []string, out *Codec) ([]byte, 
 	}
 	return dst, nil
 }
+
+// FieldExtents locates the byte extent of every top-level field in one pass
+// over the wire bytes, appending (start, end) pairs to ext (reused across
+// calls by the vectorized kernel, so extent location costs no allocation
+// per row). The returned slice holds 2*arity ints: field i spans
+// data[ext[2i]:ext[2i+1]].
+func (c *Codec) FieldExtents(data []byte, ext []int) ([]int, error) {
+	ext = ext[:0]
+	pos := 0
+	for _, f := range c.schema.Fields {
+		n, err := skipValue(data[pos:], f.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("avro: sizing field %q: %w", f.Name, err)
+		}
+		ext = append(ext, pos, pos+n)
+		pos += n
+	}
+	return ext, nil
+}

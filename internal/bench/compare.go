@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ReadReport loads a previously written BENCH_results.json.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// RatioDiff is one (figure, containers) point compared between a baseline
+// report and a fresh run.
+type RatioDiff struct {
+	Figure     string
+	Containers int
+	// Old and New are the sql_native_ratio values; Delta is the relative
+	// change ((new-old)/old), negative for regressions.
+	Old   float64
+	New   float64
+	Delta float64
+	// Regression marks points whose ratio fell by more than the tolerance.
+	Regression bool
+}
+
+// CompareReports diffs sql_native_ratio per figure row between a baseline
+// and a fresh report, matching rows by (figure ID, container count). Points
+// whose ratio fell by more than tol (e.g. 0.10 for 10%) are flagged as
+// regressions. Points present in only one report are skipped — a new figure
+// or container count is not a regression.
+func CompareReports(baseline, fresh *Report, tol float64) []RatioDiff {
+	type key struct {
+		id         string
+		containers int
+	}
+	old := map[key]float64{}
+	for _, f := range baseline.Figures {
+		for _, r := range f.Rows {
+			old[key{f.ID, r.Containers}] = r.SQLNativeRatio
+		}
+	}
+	var out []RatioDiff
+	for _, f := range fresh.Figures {
+		for _, r := range f.Rows {
+			prev, ok := old[key{f.ID, r.Containers}]
+			if !ok || prev == 0 {
+				continue
+			}
+			delta := (r.SQLNativeRatio - prev) / prev
+			out = append(out, RatioDiff{
+				Figure:     f.ID,
+				Containers: r.Containers,
+				Old:        prev,
+				New:        r.SQLNativeRatio,
+				Delta:      delta,
+				Regression: delta < -tol,
+			})
+		}
+	}
+	return out
+}
+
+// FormatComparison renders a comparison as the table `make bench-compare`
+// prints, regressions marked. Returns the rendered table and whether any
+// point regressed.
+func FormatComparison(diffs []RatioDiff) (string, bool) {
+	var sb strings.Builder
+	regressed := false
+	fmt.Fprintf(&sb, "%-8s %-10s  %10s  %10s  %8s\n", "figure", "containers", "base", "current", "delta")
+	for _, d := range diffs {
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(&sb, "%-8s %-10d  %9.2fx  %9.2fx  %+7.1f%%%s\n",
+			d.Figure, d.Containers, d.Old, d.New, d.Delta*100, mark)
+	}
+	if len(diffs) == 0 {
+		sb.WriteString("(no overlapping figure points to compare)\n")
+	}
+	return sb.String(), regressed
+}

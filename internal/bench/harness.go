@@ -62,6 +62,12 @@ type Config struct {
 	// TraceInterval overrides the per-container trace reporter period
 	// (0 = samza.DefaultTraceInterval whenever sampling is on).
 	TraceInterval time.Duration
+	// BatchSize sets the SamzaSQL side's vectorized delivery granularity
+	// (samza.JobSpec.BatchSize): 0 uses samza.DefaultBatchSize,
+	// samza.ScalarBatch (-1) forces the per-message reference path. Native
+	// jobs are plain StreamTasks and see per-message delivery regardless,
+	// so the baseline is unaffected.
+	BatchSize int
 }
 
 // DefaultConfig returns the paper's setup scaled for in-process runs.
@@ -299,6 +305,7 @@ func RunSQL(query string, cfg Config) (Result, error) {
 	e.engine.MetricsInterval = cfg.MetricsInterval
 	e.engine.TraceSampleRate = cfg.TraceSampleRate
 	e.engine.TraceInterval = cfg.TraceInterval
+	e.engine.BatchSize = cfg.BatchSize
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

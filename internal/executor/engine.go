@@ -68,6 +68,11 @@ type Engine struct {
 	// TraceInterval overrides the per-container trace reporter period; 0
 	// uses samza.DefaultTraceInterval whenever sampling is enabled.
 	TraceInterval time.Duration
+	// BatchSize sets the vectorized delivery granularity of submitted jobs
+	// (samza.JobSpec.BatchSize): how many messages one poll drains into a
+	// columnar block. 0 uses samza.DefaultBatchSize; samza.ScalarBatch (-1)
+	// forces the per-message reference path.
+	BatchSize int
 
 	queryID atomic.Int64
 	reparts repartitionJobs
@@ -228,6 +233,7 @@ func (e *Engine) Submit(ctx context.Context, p *Prepared) (*Job, error) {
 		MetricsInterval: e.MetricsInterval,
 		TraceSampleRate: e.TraceSampleRate,
 		TraceInterval:   e.TraceInterval,
+		BatchSize:       e.BatchSize,
 		Config: map[string]string{
 			"samzasql.zk.query.path": zkQueryPath(p.JobName),
 			"samzasql.output.topic":  p.OutputTopic,

@@ -16,7 +16,9 @@ func TestFastPathMatchesNormalPath(t *testing.T) {
 		"SELECT * FROM Orders WHERE units > 50",
 		"SELECT rowtime, productId, units FROM Orders",
 		"SELECT rowtime, units FROM Orders WHERE units > 25 AND productId < 50",
-		"SELECT * FROM Orders", // identity, no filter
+		"SELECT * FROM Orders",         // identity, no filter
+		"SELECT units * 2 FROM Orders", // computed projection: compiled kernel
+		"SELECT productId, units * 2 FROM Orders WHERE units > 10",
 	}
 	for _, q := range queries {
 		normalEngine, _ := testEngine(t, 4, 500)
@@ -63,7 +65,6 @@ func TestFastPathIneligibleQueriesFallBack(t *testing.T) {
 	e, _ := testEngine(t, 1, 10)
 	e.FastPath = true
 	for _, q := range []string{
-		"SELECT units * 2 FROM Orders",                              // computed projection
 		"SELECT productId, COUNT(*) FROM Orders GROUP BY productId", // aggregate
 		"SELECT Orders.rowtime FROM Orders JOIN Products ON Orders.productId = Products.productId",
 	} {

@@ -107,6 +107,13 @@ func (t *Task) bindSender(collector samza.MessageCollector) {
 		}
 		return collector.Send(env)
 	})
+	// Collectors with a batched side unlock the block path's one-call
+	// flush; plain collectors leave it unbound and blocks send per row.
+	if bc, ok := collector.(samza.BatchCollector); ok {
+		t.program.SetBatchSender(bc.SendBatch)
+	} else {
+		t.program.SetBatchSender(nil)
+	}
 }
 
 // Process implements samza.StreamTask: decode, route, emit.
@@ -117,4 +124,20 @@ func (t *Task) Process(env samza.IncomingMessageEnvelope, collector samza.Messag
 		t.bindSender(collector)
 	}
 	return t.program.RouteMessage(env.Stream, env.Value, env.Key, env.Timestamp, env.Partition, env.Offset)
+}
+
+// ProcessBatch implements samza.BatchedStreamTask: the whole polled batch
+// flows through the program's vectorized pipeline (or, for plans without
+// one, through the per-tuple router message by message).
+//
+//samzasql:hotpath
+func (t *Task) ProcessBatch(envs []samza.IncomingMessageEnvelope, collector samza.MessageCollector, _ samza.Coordinator, pollNs int64) error {
+	if collector != t.bound {
+		t.bindSender(collector)
+	}
+	var act *trace.Active
+	if t.ctx != nil {
+		act = t.ctx.Trace
+	}
+	return t.program.RouteBatch(envs, act, pollNs)
 }

@@ -130,6 +130,57 @@ func TestTracedQueryPublishesOperatorSpans(t *testing.T) {
 	}
 }
 
+// TestBlockTraceSpansCarryRowCounts guards the batched tracing contract: a
+// sampled message processed inside a columnar block still gets a full
+// produce → poll → process → operator.* span tree, and every operator span
+// reports the number of rows the block stage covered — with at least one
+// genuinely multi-row block proving delivery was vectorized.
+func TestBlockTraceSpansCarryRowCounts(t *testing.T) {
+	e := tracedEngine(t, 80)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, job, err := e.ExecuteStream(ctx, "SELECT STREAM productId, units FROM Orders WHERE units > 25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for job.MetricsSnapshot().Counters["messages-processed"] < 80 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never processed the workload")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	job.Stop()
+
+	stages := map[string]bool{}
+	var filterRows []int64
+	for _, td := range job.Main.RecentTraces() {
+		for _, s := range td.Spans {
+			stages[s.Stage] = true
+			if s.Stage == "operator.filter" {
+				filterRows = append(filterRows, s.Rows)
+			}
+		}
+	}
+	for _, want := range []string{"produce", "poll", "process", "operator.filter"} {
+		if !stages[want] {
+			t.Fatalf("no %q span in recent traces; have %v", want, stages)
+		}
+	}
+	multi := false
+	for _, r := range filterRows {
+		if r < 1 {
+			t.Errorf("operator.filter span with row count %d, want >= 1 (the sampled row itself)", r)
+		}
+		if r > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Errorf("no operator.filter span covered more than one row (%v) — blocks were not batched", filterRows)
+	}
+}
+
 func TestExplainAnalyze(t *testing.T) {
 	e, _ := testEngine(t, 2, 300)
 	out, err := e.ExplainAnalyze(context.Background(), "SELECT STREAM * FROM Orders WHERE units > 50", 5*time.Second)

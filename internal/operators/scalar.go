@@ -10,6 +10,8 @@ import (
 // SQL semantics).
 type FilterOp struct {
 	cond expr.Evaluator
+	// rowScratch is ProcessBlock's reusable gather row.
+	rowScratch []any
 }
 
 // NewFilterOp compiles the condition.
@@ -44,6 +46,16 @@ type ProjectOp struct {
 	evals []expr.Evaluator
 	// TsIdx is the output timestamp column, or -1.
 	TsIdx int
+	// Identity marks a projection whose expressions are the input columns in
+	// order (SELECT *): the block path then passes blocks through unchanged
+	// instead of re-evaluating column references and compacting. Scalar
+	// Process ignores it.
+	Identity bool
+
+	// Block-path arenas: the gather row and the operator-owned output block
+	// ProcessBlock compacts selected rows into.
+	rowScratch []any
+	outBlock   TupleBlock
 }
 
 // NewProjectOp compiles the projections.

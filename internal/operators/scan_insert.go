@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"samzasql/internal/avro"
+	"samzasql/internal/kafka"
 	"samzasql/internal/metrics"
 )
 
@@ -31,6 +32,9 @@ type ScanOp struct {
 	// metrics-carrying context, e.g. direct Decode calls in tests).
 	bytesIn   *metrics.Counter
 	decodeLat *metrics.Histogram
+
+	// rowScratch is DecodeBlock's reusable decode row.
+	rowScratch []any
 }
 
 // Open implements Operator, binding the scan's serde metrics.
@@ -79,11 +83,22 @@ type InsertOp struct {
 	Codec  *avro.Codec
 	Target string
 	Send   Sender
+	// SendBatch, when bound, lets ProcessBlock flush a whole block's output
+	// in one producer call; without it the block path sends per row.
+	SendBatch BatchSender
 	// KeyByTupleKey selects key-based partitioning when tuples carry keys.
 	KeyByTupleKey bool
 
 	// bytesOut counts encoded output bytes; bound at Open.
 	bytesOut *metrics.Counter
+
+	// Block-path arenas: the gather row, the (start, end) offsets of each
+	// encoded row in the block slab, the outgoing message headers, and the
+	// high-water slab size used to pre-size the next block's slab.
+	rowScratch []any
+	offScratch []int
+	msgScratch []kafka.Message
+	slabHint   int
 }
 
 // Open implements Operator, binding the insert's serde metrics.

@@ -60,6 +60,21 @@ type MessageCollector interface {
 	Send(env OutgoingMessageEnvelope) error
 }
 
+// BatchCollector is a MessageCollector that can also flush a whole block of
+// output messages in one producer call. The framework's collector
+// implements it; vectorized tasks type-assert for it and fall back to
+// per-message sends against plain collectors (tests, bounded execution).
+//
+// The broker copies Message structs but retains key/value slices, so
+// callers hand over freshly allocated per-block payloads and may reuse the
+// msgs header slice itself. Message Partition fields follow the
+// OutgoingMessageEnvelope sign contract (negative delegates to the broker's
+// key hash).
+type BatchCollector interface {
+	MessageCollector
+	SendBatch(stream string, msgs []kafka.Message) error
+}
+
 // Coordinator lets a task request commits and shutdown, mirroring Samza's
 // TaskCoordinator.
 type Coordinator interface {
@@ -81,6 +96,20 @@ type StreamTask interface {
 	Init(ctx *TaskContext) error
 	// Process handles one message.
 	Process(env IncomingMessageEnvelope, collector MessageCollector, coord Coordinator) error
+}
+
+// BatchedStreamTask is implemented by tasks with a vectorized path: the
+// container delivers a whole polled batch (all from one topic-partition, in
+// offset order) per call instead of one message at a time, amortizing
+// virtual dispatch, decode and trace bookkeeping across the batch. The
+// per-message semantics are the task's to preserve: a returned error is
+// positioned at the batch, offsets advance past the whole batch only on
+// success, and commit/shutdown requests are honored at the batch boundary.
+// pollNs is the batch's poll anchor timestamp (UnixNano), used by tasks
+// that replay trace spans for sampled messages inside the batch.
+type BatchedStreamTask interface {
+	StreamTask
+	ProcessBatch(envs []IncomingMessageEnvelope, collector MessageCollector, coord Coordinator, pollNs int64) error
 }
 
 // WindowableTask is implemented by tasks that want periodic Window calls

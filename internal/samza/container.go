@@ -77,6 +77,18 @@ func (c *collector) Send(env OutgoingMessageEnvelope) error {
 	return err
 }
 
+// SendBatch implements BatchCollector: one producer call appends a whole
+// block's output messages, preserving order. The broker writes assigned
+// offsets back into msgs and retains the key/value slices (never the msgs
+// header slice itself).
+func (c *collector) SendBatch(stream string, msgs []kafka.Message) error {
+	if err := c.broker.ProduceBatch(stream, msgs); err != nil {
+		return err
+	}
+	c.sent.Add(int64(len(msgs)))
+	return nil
+}
+
 // coordinatorState implements Coordinator. Each task loop reuses one
 // instance across messages, resetting it per delivery, so the hot path
 // performs no per-message allocation for coordinator plumbing.
@@ -101,6 +113,14 @@ type taskInstance struct {
 	name      TaskName
 	partition int32
 	task      StreamTask
+	// batched is the task's vectorized path, cached at build time: non-nil
+	// only when the task implements BatchedStreamTask and the job has not
+	// forced scalar delivery (BatchSize == ScalarBatch).
+	batched BatchedStreamTask
+	// pollMax caps messages per poll (JobSpec.BatchSize resolved).
+	pollMax int
+	// envs is the reusable envelope arena the batched path delivers through.
+	envs      []IncomingMessageEnvelope
 	consumer  *kafka.Consumer
 	ctx       *TaskContext
 	changelog []*kv.ChangelogStore
@@ -279,10 +299,16 @@ func (c *Container) buildTask(partition, inputPartitions int32) (*taskInstance, 
 		stores:    stores,
 	}
 	consumer := kafka.NewConsumer(c.broker, c.job.Name)
-	return &taskInstance{
+	task := c.job.TaskFactory()
+	pollMax := c.job.BatchSize
+	if pollMax <= 0 {
+		pollMax = DefaultBatchSize
+	}
+	ti := &taskInstance{
 		name:       name,
 		partition:  partition,
-		task:       c.job.TaskFactory(),
+		task:       task,
+		pollMax:    pollMax,
 		consumer:   consumer,
 		ctx:        tctx,
 		changelog:  changelogs,
@@ -292,7 +318,11 @@ func (c *Container) buildTask(partition, inputPartitions int32) (*taskInstance, 
 		procLat:    c.Metrics.Timer("task." + string(name) + ".process-ns"),
 		winLat:     c.Metrics.Timer("task." + string(name) + ".window-ns"),
 		commitLat:  c.Metrics.Timer("task." + string(name) + ".commit-ns"),
-	}, nil
+	}
+	if c.job.BatchSize != ScalarBatch {
+		ti.batched, _ = task.(BatchedStreamTask)
+	}
+	return ti, nil
 }
 
 // TaskHealth reports the liveness state of every task in the container,
@@ -547,15 +577,22 @@ func (c *Container) bootstrap(ctx context.Context, ti *taskInstance) error {
 // assigned tasks block on the consumer's notifier instead.
 const idleWait = 10 * time.Millisecond
 
-// pollBatch is the per-poll message cap.
-const pollBatch = 256
+// DefaultBatchSize is the per-poll message cap when JobSpec.BatchSize is
+// unset: the delivery unit of the vectorized block path and the fetch
+// granularity of the scalar path alike.
+const DefaultBatchSize = 256
+
+// ScalarBatch, as JobSpec.BatchSize, forces per-message delivery even for
+// tasks implementing BatchedStreamTask — the reference path batch-vs-scalar
+// equivalence tests compare against.
+const ScalarBatch = -1
 
 // pollTask delivers one batch to the task. Returns stop=true when the task
 // requested shutdown.
 //
 //samzasql:hotpath
 func (c *Container) pollTask(ctx context.Context, ti *taskInstance) (bool, error) {
-	msgs, err := ti.consumer.Poll(ctx, pollBatch)
+	msgs, err := ti.consumer.Poll(ctx, ti.pollMax)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return false, nil
@@ -583,6 +620,51 @@ func (c *Container) pollTask(ctx context.Context, ti *taskInstance) (bool, error
 	// batchNs anchors the poll span of any sampled message in this batch:
 	// one time read per batch is the only unconditional tracing cost.
 	batchNs := time.Now().UnixNano()
+	// Vectorized delivery: the whole polled batch (one topic-partition, in
+	// offset order) goes to the task in a single ProcessBatch call, with
+	// one coordinator reset, one latency observation, and one
+	// delivered-offset update per batch instead of per message. Trace
+	// bookkeeping for sampled messages inside the batch is the task's to
+	// replay (batch-level spans with row counts).
+	if ti.batched != nil {
+		envs := ti.envs[:0]
+		for i := range msgs {
+			m := &msgs[i]
+			envs = append(envs, IncomingMessageEnvelope{
+				Stream: m.Topic, Partition: m.Partition, Offset: m.Offset,
+				Key: m.Key, Value: m.Value, Timestamp: m.Timestamp,
+				Trace: m.Trace,
+			})
+		}
+		ti.envs = envs
+		ti.coord.reset()
+		start := ti.procLat.Start()
+		if err := ti.batched.ProcessBatch(envs, c.coll, &ti.coord, batchNs); err != nil {
+			return false, fmt.Errorf("samza: %s process batch: %w", ti.name, err)
+		}
+		ti.procLat.Stop(start)
+		ti.delivered[msgs[0].Topic] = msgs[len(msgs)-1].Offset + 1
+		c.processed.Add(int64(len(msgs)))
+		ti.processed += len(msgs)
+		ti.sinceWin += len(msgs)
+		if wt, ok := ti.task.(WindowableTask); ok && c.job.WindowEvery > 0 && ti.sinceWin >= c.job.WindowEvery {
+			wstart := ti.winLat.Start()
+			if err := wt.Window(c.coll, &ti.coord); err != nil {
+				return false, fmt.Errorf("samza: %s window: %w", ti.name, err)
+			}
+			ti.winLat.Stop(wstart)
+			ti.sinceWin = 0
+		}
+		needCommit := ti.coord.commitRequested ||
+			(c.job.CommitEvery > 0 && ti.processed >= c.job.CommitEvery)
+		if needCommit {
+			if err := c.commitTask(ti); err != nil {
+				return false, err
+			}
+			ti.processed = 0
+		}
+		return ti.coord.shutdownRequested, nil
+	}
 	// env and ti.coord are reused across the batch; Process receives the
 	// envelope by value, so reuse is invisible to the task.
 	env := IncomingMessageEnvelope{}

@@ -99,6 +99,14 @@ type JobSpec struct {
 	// TraceTopic overrides the trace stream name; empty uses
 	// DefaultTraceTopic.
 	TraceTopic string
+	// BatchSize caps how many messages one poll delivers to a task and, for
+	// tasks implementing BatchedStreamTask, selects vectorized delivery:
+	// whole batches per ProcessBatch call. 0 (the default) uses
+	// DefaultBatchSize. ScalarBatch (-1) forces per-message delivery even
+	// for batched tasks — the scalar reference path the equivalence tests
+	// compare against. Plain StreamTasks see per-message delivery at every
+	// setting.
+	BatchSize int
 	// Config carries arbitrary job configuration strings.
 	Config map[string]string
 }
@@ -138,6 +146,9 @@ func (j *JobSpec) Validate() error {
 	}
 	if j.TraceSampleRate < 0 || j.TraceSampleRate > 1 {
 		return fmt.Errorf("samza: job %q trace sample rate %v outside [0, 1]", j.Name, j.TraceSampleRate)
+	}
+	if j.BatchSize < ScalarBatch {
+		return fmt.Errorf("samza: job %q has invalid batch size %d (want >= %d)", j.Name, j.BatchSize, ScalarBatch)
 	}
 	seen := map[string]bool{}
 	for _, in := range j.Inputs {

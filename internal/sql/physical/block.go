@@ -1,0 +1,141 @@
+package physical
+
+import (
+	"time"
+
+	"samzasql/internal/operators"
+	"samzasql/internal/samza"
+	"samzasql/internal/trace"
+)
+
+// This file is the vectorized side of the program: a per-block pipeline
+// compiled next to the per-tuple router. RouteBatch drives one polled batch
+// (always from a single topic-partition) through it — decode once per
+// block, each operator's ProcessBlock once per block, the outputs flushed
+// in one batched send. Plans the block chain cannot express (aggregates,
+// joins, sliding windows, repartitioned scans) fall back to the per-tuple
+// path, message by message, with the same trace bracketing the scalar
+// container loop would have done.
+
+// buildBlockChain compiles the block pipeline when the plan is linear:
+// filter/project stages over one scan into the insert sink. Called at the
+// end of CompileWithOptions; leaves blockEntry nil when any stage has no
+// vectorized path.
+func (p *Program) buildBlockChain(ins *operators.Instrumented) {
+	if p.blockNotLinear || p.blockScan == nil || p.aggregate != nil || len(p.Repartitions) > 0 {
+		return
+	}
+	if _, ok := ins.BlockOp(); !ok {
+		return
+	}
+	for _, inst := range p.blockStages {
+		if _, ok := inst.BlockOp(); !ok {
+			return
+		}
+	}
+	// Fold the chain from the sink upward. blockStages is in top-down
+	// compile order (project collected before the filter beneath it), so
+	// each iteration wraps the entry built so far as its downstream,
+	// leaving the bottom-most stage as the final entry point.
+	insEmit := ins.WrapBlockEmit(func(*operators.TupleBlock) error { return nil })
+	entry := func(b *operators.TupleBlock) error {
+		return ins.ProcessBlock(0, b, insEmit)
+	}
+	for _, inst := range p.blockStages {
+		inst := inst
+		downstream := inst.WrapBlockEmit(entry)
+		entry = func(b *operators.TupleBlock) error {
+			return inst.ProcessBlock(0, b, downstream)
+		}
+	}
+	p.blockEntry = entry
+}
+
+// Vectorized reports whether the program compiled a per-block pipeline
+// (fused kernel or block chain); plans without one process batches through
+// the per-tuple router.
+func (p *Program) Vectorized() bool { return p.fast != nil || p.blockEntry != nil }
+
+// RouteBatch drives one polled batch through the program — the vectorized
+// counterpart of RouteMessage. The envelopes come from a single
+// topic-partition in offset order (the consumer's poll contract). act may
+// be nil (bounded execution, tests); sampled messages inside the batch get
+// their spans replayed at batch granularity with row counts.
+//
+//samzasql:hotpath
+func (p *Program) RouteBatch(envs []samza.IncomingMessageEnvelope, act *trace.Active, pollNs int64) error {
+	if len(envs) == 0 {
+		return nil
+	}
+	topic := envs[0].Stream
+	if p.fast != nil {
+		if topic != p.fast.topic {
+			return nil
+		}
+		return p.fast.handleBlock(envs, act, pollNs)
+	}
+	if p.blockEntry == nil || topic != p.blockScan.Stream {
+		// Per-tuple fallback: route each message with the trace brackets
+		// the scalar container loop would have applied.
+		for i := range envs {
+			env := &envs[i]
+			if env.Trace.Sampled {
+				act.StartMessage(env.Trace, pollNs, time.Now().UnixNano())
+			}
+			if err := p.RouteMessage(env.Stream, env.Value, env.Key, env.Timestamp, env.Partition, env.Offset); err != nil {
+				return err
+			}
+			if env.Trace.Sampled {
+				act.FinishMessage(time.Now().UnixNano())
+			}
+		}
+		return nil
+	}
+	b := &p.blockArena
+	b.Reset(topic, envs[0].Partition, len(envs))
+	sampled := 0
+	for i := range envs {
+		env := &envs[i]
+		b.Raw = append(b.Raw, env.Value)
+		b.Keys = append(b.Keys, env.Key)
+		b.Ts = append(b.Ts, env.Timestamp)
+		b.Offsets = append(b.Offsets, env.Offset)
+		if env.Trace.Sampled {
+			sampled++
+		}
+	}
+	var startNs int64
+	if sampled > 0 {
+		p.btrace.Reset()
+		b.Trace = &p.btrace
+		startNs = time.Now().UnixNano()
+	}
+	if err := p.blockScan.DecodeBlock(b); err != nil {
+		return err
+	}
+	if err := p.blockEntry(b); err != nil {
+		return err
+	}
+	if sampled > 0 {
+		p.replayBlockTrace(envs, act, pollNs, startNs, time.Now().UnixNano())
+	}
+	return nil
+}
+
+// replayBlockTrace reconstructs per-message trace trees for the sampled
+// messages of a completed block: each gets its produce/poll/process spans
+// plus the block's batch-level operator spans (carrying the row counts they
+// covered), so vectorization changes span granularity but never drops
+// sampled messages from the trace stream.
+func (p *Program) replayBlockTrace(envs []samza.IncomingMessageEnvelope, act *trace.Active, pollNs, startNs, endNs int64) {
+	for i := range envs {
+		if !envs[i].Trace.Sampled {
+			continue
+		}
+		act.StartMessage(envs[i].Trace, pollNs, startNs)
+		for _, sp := range p.btrace.Spans {
+			act.StageRows(sp.Stage, sp.StartNs, sp.EndNs, sp.Rows)
+		}
+		act.FinishMessage(endNs)
+	}
+}

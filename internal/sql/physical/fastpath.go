@@ -4,8 +4,10 @@ import (
 	"time"
 
 	"samzasql/internal/avro"
+	"samzasql/internal/kafka"
 	"samzasql/internal/metrics"
 	"samzasql/internal/operators"
+	"samzasql/internal/samza"
 	"samzasql/internal/sql/catalog"
 	"samzasql/internal/sql/expr"
 	"samzasql/internal/sql/plan"
@@ -29,22 +31,45 @@ import (
 // per-message function. Enable with Options.FastPath; the
 // BenchmarkAblationFastPath benches measure the recovered throughput.
 
-// fastProgram is the fused per-message handler.
+// fastProgram is the fused handler: per-message via handle, per-block via
+// handleBlock. Three output modes, cheapest first: identity forwards input
+// bytes unchanged; extent projection (projectNames/projIdx) byte-copies
+// column encodings without materializing values; computed projection
+// (projEvals) evaluates compiled expressions over the sparse row and
+// re-encodes — the generalization that lets arbitrary filter/project/
+// scalar pipelines compile to the kernel instead of falling back.
 type fastProgram struct {
 	codec *avro.Codec
-	// cond is nil for pure projections; wanted marks its column reads.
+	// cond is nil for pure projections; wanted marks the columns the
+	// condition and any computed projections read.
 	cond   expr.Evaluator
 	wanted []bool
-	// identity forwards input bytes; otherwise projectNames re-encode.
+	// identity forwards input bytes; projectNames/projIdx select the extent
+	// copy mode; projEvals selects the computed mode.
 	identity     bool
 	projectNames []string
+	projIdx      []int
+	projEvals    []expr.Evaluator
 	outCodec     *avro.Codec
 
 	send operators.Sender
-	// scratch is the reusable sparse row.
-	scratch []any
-	topic   string
-	target  string
+	// sendBatch, when bound, lets handleBlock flush a whole block's output
+	// in one producer call; without it batches fall back to handle.
+	sendBatch operators.BatchSender
+	// scratch is the reusable sparse row; outScratch the computed output row.
+	scratch    []any
+	outScratch []any
+	topic      string
+	target     string
+
+	// Block-path arenas: outgoing message headers, (envIdx, start, end)
+	// triplets locating each encoded row in the block slab, the field
+	// extent scratch for extent projection, and the slab high-water mark
+	// used to pre-size the next block's slab.
+	msgScratch []kafka.Message
+	offScratch []int
+	extScratch []int
+	slabHint   int
 
 	// Observability handles for the fused stage, bound by fastBinder at
 	// Router.Open (nil without a metrics registry). The whole fused
@@ -83,9 +108,13 @@ func (b *fastBinder) Process(_ int, t *operators.Tuple, emit operators.Emit) err
 	return emit(t)
 }
 
-// tryFastPath recognizes Project(Filter?(Scan)) shapes whose projections
-// are plain column references and compiles the fused handler. Returns false
-// when the plan needs the general operator router.
+// tryFastPath recognizes Project(Filter?(Scan)) shapes and compiles the
+// fused handler. Column-reference projections compile to the byte-copy
+// modes (identity / extent projection); any other scalar projection
+// compiles to per-output expression evaluators over the sparse row —
+// arbitrary filter/project/scalar pipelines take the kernel, and only
+// aggregates, joins, sliding windows and repartitions fall back to the
+// general operator router. Returns false for those.
 func (p *Program) tryFastPath(body plan.Node, target string) (bool, error) {
 	proj, ok := body.(*plan.Project)
 	if !ok {
@@ -101,20 +130,24 @@ func (p *Program) tryFastPath(body plan.Node, target string) (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	// Projections must be direct column references.
+	// Classify the projections: all plain column references select the
+	// byte-copy modes; anything else selects the computed mode.
 	colIdx := make([]int, len(proj.Exprs))
+	allCols := true
 	for i, e := range proj.Exprs {
-		c, ok := e.(*expr.ColRef)
-		if !ok {
-			return false, nil
+		if c, ok := e.(*expr.ColRef); ok {
+			colIdx[i] = c.Idx
+		} else {
+			allCols = false
 		}
-		colIdx[i] = c.Idx
 	}
 	arity := scan.Object.Row.Arity()
-	identity := len(colIdx) == arity
-	for i, idx := range colIdx {
-		if idx != i {
-			identity = false
+	identity := allCols && len(colIdx) == arity
+	if identity {
+		for i, idx := range colIdx {
+			if idx != i {
+				identity = false
+			}
 		}
 	}
 
@@ -133,17 +166,20 @@ func (p *Program) tryFastPath(body plan.Node, target string) (bool, error) {
 		target:   target,
 		scratch:  make([]any, arity),
 	}
-	if filt != nil {
-		wanted := make([]bool, arity)
-		ok := true
-		walkCols(filt.Cond, func(c *expr.ColRef) {
+	wanted := make([]bool, arity)
+	colsOK := true
+	markCols := func(e expr.Expr) {
+		walkCols(e, func(c *expr.ColRef) {
 			if c.Idx < 0 || c.Idx >= arity {
-				ok = false
+				colsOK = false
 				return
 			}
 			wanted[c.Idx] = true
 		})
-		if !ok {
+	}
+	if filt != nil {
+		markCols(filt.Cond)
+		if !colsOK {
 			return false, nil
 		}
 		ev, err := expr.Compile(filt.Cond)
@@ -153,13 +189,19 @@ func (p *Program) tryFastPath(body plan.Node, target string) (bool, error) {
 		fp.cond = ev
 		fp.wanted = wanted
 	}
-	if identity {
+	switch {
+	case identity:
 		fp.outCodec = codec
-	} else {
+	case allCols:
 		names := make([]string, len(colIdx))
+		idxs := make([]int, len(colIdx))
 		fields := make([]avro.Field, len(colIdx))
 		for i, idx := range colIdx {
+			if idx < 0 || idx >= arity {
+				return false, nil
+			}
 			names[i] = schema.Fields[idx].Name
+			idxs[i] = idx
 			fields[i] = avro.F(proj.Names[i], schema.Fields[idx].Schema)
 		}
 		out, err := avro.NewCodec(avro.Record("Output", fields...))
@@ -167,6 +209,34 @@ func (p *Program) tryFastPath(body plan.Node, target string) (bool, error) {
 			return false, err
 		}
 		fp.projectNames = names
+		fp.projIdx = idxs
+		fp.outCodec = out
+	default:
+		// Computed projection: compile each output expression over the
+		// sparse row and re-encode with the same codec the general path
+		// would use, so outputs stay byte-identical across paths.
+		evals := make([]expr.Evaluator, len(proj.Exprs))
+		for i, e := range proj.Exprs {
+			markCols(e)
+			ev, err := expr.Compile(e)
+			if err != nil {
+				// An expression the compiler cannot close over (a yet-
+				// unsupported node) is not an error: the general router
+				// handles it.
+				return false, nil
+			}
+			evals[i] = ev
+		}
+		if !colsOK {
+			return false, nil
+		}
+		out, err := codecFor("Output", proj.Row(), true)
+		if err != nil {
+			return false, err
+		}
+		fp.wanted = wanted
+		fp.projEvals = evals
+		fp.outScratch = make([]any, len(evals))
 		fp.outCodec = out
 	}
 
@@ -205,11 +275,15 @@ func (f *fastProgram) handle(value, key []byte, ts int64, partition int32) error
 	if f.bytesIn != nil {
 		f.bytesIn.Add(int64(len(value)))
 	}
-	if f.cond != nil {
-		row, err := f.codec.ReadFields(value, f.wanted, f.scratch)
+	var row []any
+	if f.cond != nil || f.projEvals != nil {
+		var err error
+		row, err = f.codec.ReadFields(value, f.wanted, f.scratch)
 		if err != nil {
 			return err
 		}
+	}
+	if f.cond != nil {
 		v, err := f.cond(row)
 		if err != nil {
 			return err
@@ -222,7 +296,22 @@ func (f *fastProgram) handle(value, key []byte, ts int64, partition int32) error
 		}
 	}
 	out := value
-	if !f.identity {
+	switch {
+	case f.identity:
+	case f.projEvals != nil:
+		for i, ev := range f.projEvals {
+			v, err := ev(row)
+			if err != nil {
+				return err
+			}
+			f.outScratch[i] = v
+		}
+		var err error
+		out, err = f.outCodec.EncodeRow(f.outScratch)
+		if err != nil {
+			return err
+		}
+	default:
 		var err error
 		out, err = f.codec.ProjectFields(value, f.projectNames, f.outCodec)
 		if err != nil {
@@ -244,6 +333,152 @@ func (f *fastProgram) handle(value, key []byte, ts int64, partition int32) error
 // monotonic start as the latency observation.
 func (f *fastProgram) closeSpan(start time.Time) {
 	f.act.End(start.UnixNano() + time.Since(start).Nanoseconds())
+}
+
+// handleBlock runs the fused kernel over one polled batch: one sparse
+// decode + condition evaluation per row, all surviving outputs encoded
+// into a single per-block slab (freshly allocated, because the broker
+// retains sent value slices; identity mode forwards the input bytes and
+// allocates nothing), flushed through one batched send. Metrics observe
+// once per block. Without a batch sender bound, the batch degrades to the
+// per-message handler.
+//
+//samzasql:hotpath
+func (f *fastProgram) handleBlock(envs []samza.IncomingMessageEnvelope, act *trace.Active, pollNs int64) error {
+	if f.sendBatch == nil {
+		for i := range envs {
+			env := &envs[i]
+			if env.Trace.Sampled {
+				act.StartMessage(env.Trace, pollNs, time.Now().UnixNano())
+			}
+			if err := f.handle(env.Value, env.Key, env.Timestamp, env.Partition); err != nil {
+				return err
+			}
+			if env.Trace.Sampled {
+				act.FinishMessage(time.Now().UnixNano())
+			}
+		}
+		return nil
+	}
+	start := time.Now()
+	sampled := 0
+	var bytesIn, bytesOut int64
+	var slab []byte
+	if !f.identity {
+		slab = make([]byte, 0, f.slabHint)
+	}
+	msgs := f.msgScratch[:0]
+	offs := f.offScratch[:0]
+	ext := f.extScratch
+	for i := range envs {
+		env := &envs[i]
+		if env.Trace.Sampled {
+			sampled++
+		}
+		value := env.Value
+		bytesIn += int64(len(value))
+		var row []any
+		if f.cond != nil || f.projEvals != nil {
+			var err error
+			row, err = f.codec.ReadFields(value, f.wanted, f.scratch)
+			if err != nil {
+				return err
+			}
+		}
+		if f.cond != nil {
+			v, err := f.cond(row)
+			if err != nil {
+				return err
+			}
+			if b, ok := v.(bool); !ok || !b {
+				continue
+			}
+		}
+		switch {
+		case f.identity:
+			// Forwarded bytes are broker-owned already; no slab needed.
+			msgs = append(msgs, kafka.Message{
+				Partition: env.Partition, Key: env.Key, Value: value, Timestamp: env.Timestamp,
+			})
+			bytesOut += int64(len(value))
+		case f.projEvals != nil:
+			for j, ev := range f.projEvals {
+				v, err := ev(row)
+				if err != nil {
+					return err
+				}
+				f.outScratch[j] = v
+			}
+			pos := len(slab)
+			var err error
+			slab, err = f.outCodec.AppendEncodeRow(slab, f.outScratch)
+			if err != nil {
+				return err
+			}
+			offs = append(offs, i, pos, len(slab))
+		default:
+			var err error
+			ext, err = f.codec.FieldExtents(value, ext)
+			if err != nil {
+				return err
+			}
+			pos := len(slab)
+			for _, idx := range f.projIdx {
+				slab = append(slab, value[ext[2*idx]:ext[2*idx+1]]...)
+			}
+			offs = append(offs, i, pos, len(slab))
+		}
+	}
+	// Slab modes build their messages only after the slab stops growing:
+	// append may have reallocated it mid-block.
+	for k := 0; k+2 < len(offs); k += 3 {
+		env := &envs[offs[k]]
+		s, e := offs[k+1], offs[k+2]
+		msgs = append(msgs, kafka.Message{
+			Partition: env.Partition, Key: env.Key, Value: slab[s:e:e], Timestamp: env.Timestamp,
+		})
+	}
+	f.msgScratch = msgs
+	f.offScratch = offs
+	f.extScratch = ext
+	if len(slab) > f.slabHint {
+		f.slabHint = len(slab)
+	}
+	if !f.identity {
+		bytesOut = int64(len(slab))
+	}
+	if len(msgs) > 0 {
+		if err := f.sendBatch(f.target, msgs); err != nil {
+			return err
+		}
+	}
+	if f.out != nil {
+		f.out.Add(int64(len(msgs)))
+		f.bytesIn.Add(bytesIn)
+		f.bytesOut.Add(bytesOut)
+	}
+	d := time.Since(start).Nanoseconds()
+	if f.lat != nil {
+		f.lat.Observe(d)
+	}
+	if sampled > 0 {
+		f.replayBlockTrace(envs, act, pollNs, start.UnixNano(), start.UnixNano()+d, int64(len(envs)))
+	}
+	return nil
+}
+
+// replayBlockTrace gives each sampled message of a completed kernel block
+// its trace tree: produce/poll/process plus one batch-level
+// "operator.fastpath" span carrying the block's row count.
+func (f *fastProgram) replayBlockTrace(envs []samza.IncomingMessageEnvelope, act *trace.Active, pollNs, startNs, endNs, rows int64) {
+	for i := range envs {
+		if !envs[i].Trace.Sampled {
+			continue
+		}
+		act.StartMessage(envs[i].Trace, pollNs, startNs)
+		act.StageRows("operator.fastpath", startNs, endNs, rows)
+		act.FinishMessage(endNs)
+	}
 }
 
 // walkCols visits the column references of a bound expression.

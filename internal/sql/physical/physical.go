@@ -13,6 +13,7 @@ import (
 	"samzasql/internal/operators"
 	"samzasql/internal/samza"
 	"samzasql/internal/sql/catalog"
+	"samzasql/internal/sql/expr"
 	"samzasql/internal/sql/plan"
 	"samzasql/internal/sql/types"
 )
@@ -59,6 +60,21 @@ type Program struct {
 	// stageSeq numbers repeated operator kinds during compilation so every
 	// instrumented stage gets a unique metric name.
 	stageSeq map[string]int
+
+	// Vectorized block chain (see block.go): blockEntry is the compiled
+	// per-block pipeline over blockScan's decoded blocks, non-nil only for
+	// linear filter/project plans over a single scan. blockStages collects
+	// the instrumented linear stages in compile (top-down) order during
+	// build; blockNotLinear marks plans with aggregate/join/analytic/
+	// repartition stages, which stay on the per-tuple router.
+	blockEntry     operators.BlockEmit
+	blockScan      *operators.ScanOp
+	blockStages    []*operators.Instrumented
+	blockNotLinear bool
+	// blockArena and btrace are the task-owned reusable block and stage-span
+	// log RouteBatch drives the chain with.
+	blockArena operators.TupleBlock
+	btrace     operators.BlockTrace
 }
 
 // instrument wraps op for per-operator latency/output metrics and registers
@@ -99,6 +115,18 @@ func (p *Program) SetSender(s operators.Sender) {
 		return
 	}
 	p.insert.Send = s
+}
+
+// SetBatchSender binds the output sink's batched path. Nil unbinds it; the
+// block path then falls back to per-row sends through the scalar sender.
+func (p *Program) SetBatchSender(bs operators.BatchSender) {
+	if p.fast != nil {
+		p.fast.sendBatch = bs
+		return
+	}
+	if p.insert != nil {
+		p.insert.SendBatch = bs
+	}
 }
 
 // Aggregate exposes the aggregate operator (nil when the plan has none).
@@ -161,6 +189,7 @@ func CompileWithOptions(root plan.Node, defaultOutput string, opts Options) (*Pr
 	if prog.aggregate != nil {
 		prog.insert.KeyByTupleKey = true
 	}
+	prog.buildBlockChain(insInst)
 	return prog, nil
 }
 
@@ -176,6 +205,7 @@ func (p *Program) build(n plan.Node, downstream operators.Emit) error {
 			return err
 		}
 		inst := p.instrument("filter", op)
+		p.blockStages = append(p.blockStages, inst)
 		emitTo := inst.WrapEmit(downstream)
 		return p.build(t.Input, func(tp *operators.Tuple) error {
 			return inst.Process(0, tp, emitTo)
@@ -192,12 +222,27 @@ func (p *Program) build(n plan.Node, downstream operators.Emit) error {
 		if err != nil {
 			return err
 		}
+		// SELECT *: every expression is its own input column, in order. The
+		// block path then passes rows through (raw encodings included),
+		// letting the insert raw-forward filter-only chains.
+		if identity := t.Exprs != nil && len(t.Exprs) == t.Input.Row().Arity(); identity {
+			for i, e := range t.Exprs {
+				c, ok := e.(*expr.ColRef)
+				if !ok || c.Idx != i {
+					identity = false
+					break
+				}
+			}
+			op.Identity = identity
+		}
 		inst := p.instrument("project", op)
+		p.blockStages = append(p.blockStages, inst)
 		emitTo := inst.WrapEmit(downstream)
 		return p.build(t.Input, func(tp *operators.Tuple) error {
 			return inst.Process(0, tp, emitTo)
 		})
 	case *plan.Aggregate:
+		p.blockNotLinear = true
 		op, err := operators.NewStreamAggregateOp(t.Keys, t.Window, t.Aggs)
 		if err != nil {
 			return err
@@ -213,6 +258,7 @@ func (p *Program) build(n plan.Node, downstream operators.Emit) error {
 			return inst.Process(0, tp, emitTo)
 		})
 	case *plan.Analytic:
+		p.blockNotLinear = true
 		op, err := operators.NewSlidingWindowOp(t.Calls)
 		if err != nil {
 			return err
@@ -256,6 +302,11 @@ func (p *Program) buildScan(s *plan.Scan, downstream operators.Emit) error {
 		}
 	}
 	scan := &operators.ScanOp{Codec: c, TsIdx: tsIdx, Stream: topic}
+	if s.RepartitionCol != "" || p.blockScan != nil {
+		p.blockNotLinear = true
+	} else {
+		p.blockScan = scan
+	}
 	p.Router.Register(scan)
 	for _, in := range p.Inputs {
 		if in.Topic == topic {
@@ -277,6 +328,7 @@ func (p *Program) buildScan(s *plan.Scan, downstream operators.Emit) error {
 }
 
 func (p *Program) buildJoin(j *plan.Join, downstream operators.Emit) error {
+	p.blockNotLinear = true
 	leftArity := j.Left.Row().Arity()
 	rightArity := j.Right.Row().Arity()
 

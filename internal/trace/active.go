@@ -126,6 +126,22 @@ func (a *Active) Leaf(stage string, startNs, durNs int64) {
 	})
 }
 
+// StageRows records a completed batch-granularity stage span, carrying the
+// number of rows the stage covered, under the innermost open span. The
+// vectorized block path runs each operator once per block and then replays
+// the block's stage log through this for every sampled message in the
+// block, so sampled messages keep their per-operator spans (with row
+// counts) instead of losing them to the batch.
+func (a *Active) StageRows(stage string, startNs, endNs, rows int64) {
+	if a == nil || !a.sampled {
+		return
+	}
+	a.rec.Record(Span{
+		TraceID: a.traceID, SpanID: NextID(), ParentID: a.currentParent(),
+		Stage: stage, StartNs: startNs, EndNs: endNs, Rows: rows,
+	})
+}
+
 // Outgoing derives the context to attach to a message emitted while inside
 // a sampled trace, parenting its produce span under the emitting stage.
 // Returns the zero Context when no trace is active.

@@ -65,6 +65,10 @@ type Span struct {
 	Stage   string `json:"stage"`
 	StartNs int64  `json:"start-ns"`
 	EndNs   int64  `json:"end-ns"`
+	// Rows is the number of rows the stage covered when the span was
+	// recorded at batch granularity (the vectorized block path); zero for
+	// per-message spans.
+	Rows int64 `json:"rows,omitempty"`
 }
 
 // DurationNs is the span's wall-clock duration.
