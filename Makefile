@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet vet-custom race verify ci bench bench-figures bench-compare profile trace-overhead
+.PHONY: build test vet vet-custom race verify ci bench bench-figures bench-compare profile trace-overhead monitor-smoke
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,14 @@ bench-compare:
 trace-overhead:
 	$(GO) test -run 'TestFilterProcessZeroAllocsTracerBound|TestFilterProcessZeroAllocs' -count=1 -v ./internal/executor/
 	$(GO) run ./cmd/samzasql-bench -figure trace -messages $(BENCH_MESSAGES) -trace-rounds 5
+
+# End-to-end smoke of the cluster monitor: start a monitored job with an
+# injected lag spike (the whole workload pre-loaded as backlog), serve the
+# introspection endpoints on a loopback port, and assert over HTTP that
+# /query and /alerts respond and that a lag alert fires and then resolves
+# once the backlog drains. Exits non-zero on any missed assertion.
+monitor-smoke:
+	$(GO) run ./cmd/samzasql-bench -figure monitor-smoke -messages 20000
 
 PROFILE_ADDR ?= 127.0.0.1:8642
 

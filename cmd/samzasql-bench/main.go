@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		figure     = flag.String("figure", "all", "figure to regenerate: 5a, 5b, 5c, 6, figures (all four), state, trace, loc or all")
+		figure     = flag.String("figure", "all", "figure to regenerate: 5a, 5b, 5c, 6, figures (all four), state, trace, monitor-smoke, loc or all")
 		messages   = flag.Int("messages", 200_000, "orders messages per run")
 		partitions = flag.Int("partitions", 32, "partitions per topic (paper: 32)")
 		products   = flag.Int("products", 100, "products relation cardinality")
@@ -35,6 +35,7 @@ func main() {
 		writeBatch = flag.Int("write-batch", 0, "batch store/changelog writes until commit, capped at this many dirty keys (0 = write-through mirroring)")
 		traceRate  = flag.Float64("trace-sample-rate", 0, "sample roughly this fraction of produced messages into end-to-end span trees (0 = tracing off)")
 		traceRnds  = flag.Int("trace-rounds", 5, "rounds per point for -figure trace (best-of comparison)")
+		monitorOn  = flag.Bool("monitor", false, "attach the cluster monitor to every run (tails __metrics/__traces, evaluates SLO rules onto __alerts) and print each SamzaSQL run's lag-recovery series")
 		batchSize  = flag.Int("batch-size", 0, "vectorized delivery granularity for SamzaSQL jobs: messages per columnar block (0 = framework default, -1 = per-message scalar path)")
 		jsonPath   = flag.String("json", "", "also write the measured series as machine-readable JSON to this path (e.g. BENCH_results.json)")
 		compare    = flag.String("compare", "", "diff measured sql_native_ratio per figure against this baseline JSON report (e.g. the committed BENCH_results.json); exits 3 on a >10% regression")
@@ -60,6 +61,7 @@ func main() {
 		fatalf("bad -trace-sample-rate value %v (want [0, 1])", *traceRate)
 	}
 	cfg.TraceSampleRate = *traceRate
+	cfg.Monitor = *monitorOn
 	if *batchSize < -1 {
 		fatalf("bad -batch-size value %d (want >= -1)", *batchSize)
 	}
@@ -121,6 +123,17 @@ func main() {
 		fmt.Println(bench.FormatTraceOverhead(rows))
 	}
 
+	// runMonitorSmoke drives the monitored lag-spike scenario end to end
+	// over the introspection HTTP surface, behind "-figure monitor-smoke"
+	// and `make monitor-smoke`.
+	runMonitorSmoke := func() {
+		r, err := bench.RunMonitorSmoke(cfg.Messages)
+		if err != nil {
+			fatalf("monitor smoke: %v", err)
+		}
+		fmt.Println(bench.FormatMonitorSmoke(r))
+	}
+
 	switch *figure {
 	case "all":
 		for _, spec := range bench.Figures {
@@ -136,12 +149,14 @@ func main() {
 		runStoreTuning()
 	case "trace":
 		runTraceOverhead()
+	case "monitor-smoke":
+		runMonitorSmoke()
 	case "loc":
 		printLOC()
 	default:
 		spec, ok := bench.FigureByID(*figure)
 		if !ok {
-			fatalf("unknown figure %q (want 5a, 5b, 5c, 6, figures, state, trace, loc or all)", *figure)
+			fatalf("unknown figure %q (want 5a, 5b, 5c, 6, figures, state, trace, monitor-smoke, loc or all)", *figure)
 		}
 		runOne(spec)
 	}

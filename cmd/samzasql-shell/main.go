@@ -21,6 +21,7 @@ import (
 
 	"samzasql/internal/executor"
 	"samzasql/internal/kafka"
+	"samzasql/internal/monitor"
 	"samzasql/internal/samza"
 	"samzasql/internal/sql/catalog"
 	"samzasql/internal/workload"
@@ -39,6 +40,8 @@ func main() {
 		writeBatch = flag.Int("write-batch", 0, "batch store/changelog writes until commit, capped at this many dirty keys (0 = write-through mirroring)")
 		traceRate  = flag.Float64("trace-sample-rate", 0, "sample roughly this fraction of produced messages into end-to-end span trees (0 = tracing off; see \\trace and EXPLAIN ANALYZE)")
 		batchSize  = flag.Int("batch-size", 0, "vectorized delivery granularity for submitted jobs: messages per columnar block (0 = framework default, -1 = per-message scalar path)")
+		monitorOn  = flag.Bool("monitor", false, "attach the cluster monitor: tail __metrics/__traces into the time-series store, evaluate SLO rules onto __alerts, and enable \\top and \\alerts")
+		mInterval  = flag.Duration("metrics-interval", 0, "per-container metrics snapshot period for submitted jobs (default 100ms when -monitor is on, else off)")
 	)
 	flag.Parse()
 
@@ -66,6 +69,34 @@ func main() {
 		// Trace contexts attach at produce time, so the sampler must be on
 		// the broker before the demo data (or any piped INSERTs) land.
 		broker.SetTraceSampling(*traceRate)
+	}
+	if *mInterval < 0 {
+		fatalf("bad -metrics-interval value %v", *mInterval)
+	}
+	engine.MetricsInterval = *mInterval
+	var mon *monitor.Monitor
+	if *monitorOn {
+		if engine.MetricsInterval == 0 {
+			// The monitor only sees what jobs publish on __metrics.
+			engine.MetricsInterval = 100 * time.Millisecond
+		}
+		runner := engine.Runner
+		var err error
+		mon, err = monitor.Start(monitor.Config{
+			Broker: broker,
+			Health: func() map[string]map[string]string {
+				out := map[string]map[string]string{}
+				for _, j := range runner.Jobs() {
+					out[j.Spec.Name] = j.TaskHealth()
+				}
+				return out
+			},
+		})
+		if err != nil {
+			fatalf("starting monitor: %v", err)
+		}
+		defer mon.Stop()
+		fmt.Println("cluster monitor attached (\\top for the live overview, \\alerts for SLO state)")
 	}
 
 	if *modelPath != "" {
@@ -96,10 +127,10 @@ func main() {
 	}
 
 	fmt.Println("SamzaSQL shell — statements end with ';', '!help' for commands")
-	repl(engine, *streamRows)
+	repl(engine, mon, *streamRows)
 }
 
-func repl(engine *executor.Engine, streamRows int) {
+func repl(engine *executor.Engine, mon *monitor.Monitor, streamRows int) {
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -113,7 +144,7 @@ func repl(engine *executor.Engine, streamRows int) {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && (strings.HasPrefix(trimmed, "!") || strings.HasPrefix(trimmed, `\`)) {
-			if !command(engine, trimmed) {
+			if !command(engine, mon, trimmed) {
 				return
 			}
 			continue
@@ -134,7 +165,7 @@ func repl(engine *executor.Engine, streamRows int) {
 	}
 }
 
-func command(engine *executor.Engine, cmd string) bool {
+func command(engine *executor.Engine, mon *monitor.Monitor, cmd string) bool {
 	switch strings.Fields(cmd)[0] {
 	case "!quit", "!exit":
 		return false
@@ -150,6 +181,18 @@ func command(engine *executor.Engine, cmd string) bool {
 		printMetrics(engine)
 	case `\trace`, "!trace":
 		engine.Runner.WriteTraces(os.Stdout)
+	case `\top`, "!top":
+		if mon == nil {
+			fmt.Println("\\top needs the cluster monitor (restart with -monitor)")
+			break
+		}
+		mon.WriteTop(os.Stdout, time.Now())
+	case `\alerts`, "!alerts":
+		if mon == nil {
+			fmt.Println("\\alerts needs the cluster monitor (restart with -monitor)")
+			break
+		}
+		printAlerts(mon)
 	case "!help":
 		fmt.Println(`  <statement>;              run a SQL statement (SELECT [STREAM], CREATE VIEW, INSERT INTO)
   EXPLAIN <query>;          print the optimized plan
@@ -157,6 +200,8 @@ func command(engine *executor.Engine, cmd string) bool {
   !tables                   list catalog objects
   \metrics                  dump metrics of every submitted job (counters, gauges, latency histograms)
   \trace                    dump recent sampled span trees per job (needs -trace-sample-rate > 0)
+  \top                      live job overview: throughput, task latency, lag sparklines, slowest operators (needs -monitor)
+  \alerts                   firing SLO alerts and the recent transition log (needs -monitor)
   !quit                     leave the shell`)
 	default:
 		fmt.Printf("unknown command %s (try !help)\n", cmd)
@@ -176,6 +221,27 @@ func printMetrics(engine *executor.Engine) {
 		j.UpdateLags()
 		fmt.Printf("# job %s\n", j.Spec.Name)
 		j.MetricsSnapshot().WriteText(os.Stdout)
+	}
+}
+
+// printAlerts renders the firing alerts and the recent transition log.
+func printAlerts(mon *monitor.Monitor) {
+	active := mon.ActiveAlerts()
+	if len(active) == 0 {
+		fmt.Println("no alerts firing")
+	}
+	for _, a := range active {
+		fmt.Printf("FIRING %-28s job=%-24s subject=%-24s value=%d since=%s\n",
+			a.Rule, a.Job, a.Subject, a.Value, time.UnixMilli(a.SinceMillis).Format(time.TimeOnly))
+	}
+	recent := mon.RecentAlerts(16)
+	if len(recent) == 0 {
+		return
+	}
+	fmt.Println("recent transitions (newest last):")
+	for _, r := range recent {
+		fmt.Printf("  %s %-8s %-28s job=%-24s subject=%-24s %s\n",
+			time.UnixMilli(r.TimeMillis).Format(time.TimeOnly), r.State, r.Rule, r.Job, r.Subject, r.Reason)
 	}
 }
 

@@ -54,6 +54,7 @@ func TestRepoHasHotpathAnnotations(t *testing.T) {
 		"samzasql/internal/samza",
 		"samzasql/internal/kafka",
 		"samzasql/internal/kv",
+		"samzasql/internal/monitor",
 		"samzasql/internal/operators",
 	} {
 		if perPkg[want] == 0 {

@@ -34,3 +34,34 @@ func suppressed() {
 	//samzasql:ignore goroutine-supervision -- fire-and-forget warmup; process lifetime bounds it
 	go work() // want-suppressed `unsupervised goroutine`
 }
+
+// poller mirrors the cluster monitor's tailer layout: long-lived goroutines
+// that forward decoded batches over a channel, joined through the owner's
+// WaitGroup so Stop can drain them.
+type poller struct {
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func (p *poller) start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for v := range p.ch {
+			_ = v
+		}
+	}()
+}
+
+func (p *poller) startLeaky() {
+	go func() { // want `unsupervised goroutine`
+		for v := range p.ch {
+			_ = v
+		}
+	}()
+}
+
+func (p *poller) stop() {
+	close(p.ch)
+	p.wg.Wait()
+}

@@ -18,6 +18,9 @@ type FigureRow struct {
 	// SQLSnap is the SamzaSQL run's merged end-of-run metrics, carrying the
 	// per-operator latency histograms FormatOperatorLatencies renders.
 	SQLSnap metrics.Snapshot
+	// SQLMonitor is the SamzaSQL run's lag-recovery record (Config.Monitor
+	// runs only).
+	SQLMonitor *MonitorSummary
 }
 
 // FigureSpec maps a paper figure to its benchmark query and sweep.
@@ -86,6 +89,7 @@ func RunFigure(spec FigureSpec, cfg Config) ([]FigureRow, error) {
 			SQL:        sql.Throughput,
 			Ratio:      sql.Throughput / nat.Throughput,
 			SQLSnap:    sql.Snapshot,
+			SQLMonitor: sql.Monitor,
 		})
 	}
 	return rows, nil
@@ -99,6 +103,11 @@ func FormatFigure(spec FigureSpec, rows []FigureRow) string {
 	fmt.Fprintf(&sb, "  %-10s  %14s  %14s  %9s\n", "containers", "native msg/s", "samzasql msg/s", "sql/native")
 	for _, r := range rows {
 		fmt.Fprintf(&sb, "  %-10d  %14.0f  %14.0f  %8.2fx\n", r.Containers, r.Native, r.SQL, r.Ratio)
+	}
+	for _, r := range rows {
+		if r.SQLMonitor != nil {
+			fmt.Fprintf(&sb, "  monitor x%d: %s", r.Containers, FormatMonitorSummary(r.SQLMonitor))
+		}
 	}
 	return sb.String()
 }

@@ -62,6 +62,12 @@ type Config struct {
 	// TraceInterval overrides the per-container trace reporter period
 	// (0 = samza.DefaultTraceInterval whenever sampling is on).
 	TraceInterval time.Duration
+	// Monitor, when true, attaches a cluster monitor to each run's broker
+	// (tailing __metrics/__traces, evaluating the default SLO rules onto
+	// __alerts) and records the run's lag-recovery series in
+	// Result.Monitor. Forces a 10ms MetricsInterval when none is set —
+	// the monitor sees nothing without snapshots.
+	Monitor bool
 	// BatchSize sets the SamzaSQL side's vectorized delivery granularity
 	// (samza.JobSpec.BatchSize): 0 uses samza.DefaultBatchSize,
 	// samza.ScalarBatch (-1) forces the per-message reference path. Native
@@ -94,6 +100,9 @@ type Result struct {
 	// Snapshot is the job's merged end-of-run metrics (operator latency
 	// histograms, serde byte counters, consumer-lag gauges).
 	Snapshot metrics.Snapshot
+	// Monitor is the run's lag-recovery record, set when Config.Monitor
+	// attached a cluster monitor.
+	Monitor *MonitorSummary
 }
 
 // env is one fresh in-process cluster.
@@ -167,10 +176,18 @@ const benchTimeout = 10 * time.Minute
 
 // RunNative measures one hand-written task implementation.
 func RunNative(query string, cfg Config) (Result, error) {
+	if cfg.Monitor && cfg.MetricsInterval <= 0 {
+		cfg.MetricsInterval = 10 * time.Millisecond
+	}
 	e, err := newEnv(cfg)
 	if err != nil {
 		return Result{}, err
 	}
+	mon, stopMon, err := e.startMonitor(cfg, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	defer stopMon()
 	stopIntrospection, err := e.serveIntrospection(cfg)
 	if err != nil {
 		return Result{}, err
@@ -228,6 +245,10 @@ func RunNative(query string, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	elapsed, err := awaitProcessed(rj, int64(cfg.Messages), start, benchTimeout)
+	var summary *MonitorSummary
+	if err == nil && mon != nil {
+		summary = awaitMonitorSummary(mon, job.Name, time.Second)
+	}
 	rj.Stop()
 	if err != nil {
 		return Result{}, err
@@ -240,6 +261,7 @@ func RunNative(query string, cfg Config) (Result, error) {
 		Elapsed:    elapsed,
 		Throughput: float64(cfg.Messages) / elapsed.Seconds(),
 		Snapshot:   rj.MetricsSnapshot(),
+		Monitor:    summary,
 	}, nil
 }
 
@@ -280,10 +302,18 @@ func RunSQL(query string, cfg Config) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("bench: unknown SQL query %q", query)
 	}
+	if cfg.Monitor && cfg.MetricsInterval <= 0 {
+		cfg.MetricsInterval = 10 * time.Millisecond
+	}
 	e, err := newEnv(cfg)
 	if err != nil {
 		return Result{}, err
 	}
+	mon, stopMon, err := e.startMonitor(cfg, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	defer stopMon()
 	stopIntrospection, err := e.serveIntrospection(cfg)
 	if err != nil {
 		return Result{}, err
@@ -310,11 +340,15 @@ func RunSQL(query string, cfg Config) (Result, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	start := time.Now()
-	_, rj, err := e.engine.ExecuteStream(ctx, sql)
+	p, rj, err := e.engine.ExecuteStream(ctx, sql)
 	if err != nil {
 		return Result{}, err
 	}
 	elapsed, err := awaitProcessed(rj, int64(cfg.Messages), start, benchTimeout)
+	var summary *MonitorSummary
+	if err == nil && mon != nil {
+		summary = awaitMonitorSummary(mon, p.JobName, time.Second)
+	}
 	rj.Stop()
 	if err != nil {
 		return Result{}, err
@@ -327,5 +361,6 @@ func RunSQL(query string, cfg Config) (Result, error) {
 		Elapsed:    elapsed,
 		Throughput: float64(cfg.Messages) / elapsed.Seconds(),
 		Snapshot:   rj.MetricsSnapshot(),
+		Monitor:    summary,
 	}, nil
 }

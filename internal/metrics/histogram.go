@@ -79,16 +79,32 @@ func (h *Histogram) Observe(v int64) {
 // Count returns the number of recorded observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// BucketCount is one non-empty bucket of a histogram snapshot: the flat
+// bucket index (see bucketIndex) and its observation count. Snapshots carry
+// buckets sparsely — a latency histogram typically fills a few dozen of the
+// 496 buckets — which is what lets per-container snapshots travel over the
+// metrics stream and still merge exactly on the consumer side.
+type BucketCount struct {
+	Index int32 `json:"i"`
+	Count int64 `json:"n"`
+}
+
 // HistogramSnapshot is a point-in-time summary of a histogram. Percentiles
 // are computed from the log-scaled buckets, so each carries the layout's
 // bounded relative error (at most 1/8 below the true value's bucket bound).
+//
+// Buckets holds the sparse non-zero bucket counts the percentiles were
+// computed from. When present, snapshots merge exactly (bucket-wise) and
+// support Quantile at arbitrary q; a snapshot decoded from an older producer
+// without buckets still merges via the count-weighted approximation.
 type HistogramSnapshot struct {
-	Count int64 `json:"count"`
-	Sum   int64 `json:"sum"`
-	Max   int64 `json:"max"`
-	P50   int64 `json:"p50"`
-	P95   int64 `json:"p95"`
-	P99   int64 `json:"p99"`
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Max     int64         `json:"max"`
+	P50     int64         `json:"p50"`
+	P95     int64         `json:"p95"`
+	P99     int64         `json:"p99"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // Mean returns the average observation, or 0 when empty.
@@ -118,6 +134,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	if total == 0 {
 		return snap
 	}
+	for i := range counts {
+		if counts[i] != 0 {
+			snap.Buckets = append(snap.Buckets, BucketCount{Index: int32(i), Count: counts[i]})
+		}
+	}
 	snap.P50 = quantileFromBuckets(&counts, total, 0.50)
 	snap.P95 = quantileFromBuckets(&counts, total, 0.95)
 	snap.P99 = quantileFromBuckets(&counts, total, 0.99)
@@ -136,15 +157,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 }
 
 // quantileFromBuckets finds the upper bound of the bucket containing the
-// q-quantile observation (rank = ceil(q * total)).
+// q-quantile observation (rank = max(1, min(total, floor(q * total)))).
 func quantileFromBuckets(counts *[numBuckets]int64, total int64, q float64) int64 {
-	rank := int64(q * float64(total))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > total {
-		rank = total
-	}
+	rank := quantileRank(total, q)
 	var seen int64
 	for i := range counts {
 		seen += counts[i]
@@ -155,11 +170,124 @@ func quantileFromBuckets(counts *[numBuckets]int64, total int64, q float64) int6
 	return bucketUpperBound(numBuckets - 1)
 }
 
+// quantileRank maps a quantile to an observation rank in [1, total]:
+// floor(q·total) clamped at both ends, so q <= 0 selects the smallest
+// recorded observation and q >= 1 the largest.
+func quantileRank(total int64, q float64) int64 {
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	return rank
+}
+
+// Quantile returns the value at quantile q of the distribution recorded so
+// far, with the same pinned semantics as HistogramSnapshot.Quantile: 0 for
+// an empty histogram, the single bucket's value for a single-bucket
+// distribution (at every q), never above the observed maximum.
+func (h *Histogram) Quantile(q float64) int64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile returns the value at quantile q, with pinned edge-case behavior:
+//
+//   - Empty snapshot (Count == 0): 0 for every q — "no data" is reported as
+//     zero, never as a stale or sentinel value.
+//   - Single-bucket distribution: every q returns that bucket's value (the
+//     bucket upper bound, clamped to Max) — p50 == p99 == max by definition
+//     when all observations landed in one bucket.
+//   - q <= 0 selects the smallest recorded bucket, q >= 1 the largest;
+//     results never exceed Max when Max is known.
+//   - A snapshot without sparse buckets (decoded from an older producer)
+//     degrades to the nearest precomputed percentile: P99 for q >= 0.99,
+//     P95 for q >= 0.95, P50 otherwise.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if len(s.Buckets) == 0 {
+		switch {
+		case q >= 0.99:
+			return s.P99
+		case q >= 0.95:
+			return s.P95
+		default:
+			return s.P50
+		}
+	}
+	rank := quantileRank(s.Count, q)
+	v := bucketUpperBound(int(s.Buckets[len(s.Buckets)-1].Index))
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			v = bucketUpperBound(int(b.Index))
+			break
+		}
+	}
+	if s.Max > 0 && v > s.Max {
+		v = s.Max
+	}
+	return v
+}
+
+// DeltaSince returns the distribution recorded between an earlier and a
+// later snapshot of the same histogram: bucket-wise difference with
+// percentiles recomputed over the window. It is what turns the cumulative
+// histograms on the metrics stream into windowed roll-ups. When the later
+// snapshot is not a superset of the earlier one (the underlying histogram
+// was replaced — a container restart), the later snapshot is returned
+// unchanged rather than producing negative counts. Max is carried from the
+// later snapshot, so it bounds the window from above but may predate it.
+func (s HistogramSnapshot) DeltaSince(earlier HistogramSnapshot) HistogramSnapshot {
+	if earlier.Count == 0 {
+		return s
+	}
+	if s.Count < earlier.Count || len(s.Buckets) == 0 {
+		return s
+	}
+	prev := make(map[int32]int64, len(earlier.Buckets))
+	for _, b := range earlier.Buckets {
+		prev[b.Index] = b.Count
+	}
+	out := HistogramSnapshot{Sum: s.Sum - earlier.Sum, Max: s.Max}
+	for _, b := range s.Buckets {
+		d := b.Count - prev[b.Index]
+		if d < 0 {
+			// Bucket shrank: not a prefix — treat as a reset.
+			return s
+		}
+		if d > 0 {
+			out.Buckets = append(out.Buckets, BucketCount{Index: b.Index, Count: d})
+			out.Count += d
+		}
+	}
+	if out.Sum < 0 {
+		out.Sum = 0
+	}
+	out.P50 = out.Quantile(0.50)
+	out.P95 = out.Quantile(0.95)
+	out.P99 = out.Quantile(0.99)
+	return out
+}
+
+// MergeHistograms combines two snapshots of distinct histograms (different
+// containers of one job) into one. With sparse buckets on both sides the
+// merge is exact: bucket counts add and percentiles are recomputed from the
+// merged distribution. Without buckets it falls back to the count-weighted
+// percentile approximation.
+func MergeHistograms(a, b HistogramSnapshot) HistogramSnapshot {
+	return mergeHistogramSnapshots(a, b)
+}
+
 // mergeHistogramSnapshots combines per-container summaries into a job-level
-// view: counts, sums add; max takes the max; percentiles are count-weighted
-// averages — an approximation (exact merge would need the raw buckets), good
-// enough for the aggregate dumps. Per-container exact values travel through
-// the metrics snapshot stream.
+// view: counts, sums add; max takes the max. When both sides carry sparse
+// buckets the merged percentiles are exact (recomputed from the summed
+// buckets); otherwise they are count-weighted averages, good enough for the
+// aggregate dumps.
 func mergeHistogramSnapshots(a, b HistogramSnapshot) HistogramSnapshot {
 	if a.Count == 0 {
 		return b
@@ -168,20 +296,50 @@ func mergeHistogramSnapshots(a, b HistogramSnapshot) HistogramSnapshot {
 		return a
 	}
 	total := a.Count + b.Count
-	wavg := func(x, y int64) int64 {
-		return int64((float64(x)*float64(a.Count) + float64(y)*float64(b.Count)) / float64(total))
-	}
 	out := HistogramSnapshot{
 		Count: total,
 		Sum:   a.Sum + b.Sum,
 		Max:   a.Max,
-		P50:   wavg(a.P50, b.P50),
-		P95:   wavg(a.P95, b.P95),
-		P99:   wavg(a.P99, b.P99),
 	}
 	if b.Max > out.Max {
 		out.Max = b.Max
 	}
+	if len(a.Buckets) > 0 && len(b.Buckets) > 0 {
+		out.Buckets = mergeBuckets(a.Buckets, b.Buckets)
+		out.P50 = out.Quantile(0.50)
+		out.P95 = out.Quantile(0.95)
+		out.P99 = out.Quantile(0.99)
+		return out
+	}
+	wavg := func(x, y int64) int64 {
+		return int64((float64(x)*float64(a.Count) + float64(y)*float64(b.Count)) / float64(total))
+	}
+	out.P50 = wavg(a.P50, b.P50)
+	out.P95 = wavg(a.P95, b.P95)
+	out.P99 = wavg(a.P99, b.P99)
+	return out
+}
+
+// mergeBuckets sums two sorted sparse bucket lists into a new sorted list.
+func mergeBuckets(a, b []BucketCount) []BucketCount {
+	out := make([]BucketCount, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Index < b[j].Index:
+			out = append(out, a[i])
+			i++
+		case a[i].Index > b[j].Index:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, BucketCount{Index: a[i].Index, Count: a[i].Count + b[j].Count})
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
 	return out
 }
 

@@ -135,6 +135,133 @@ func TestObserveZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestQuantileEdgeCases pins the documented Quantile contract: empty
+// histograms answer 0 at every q, single-bucket distributions answer the
+// one recorded bucket at every q, and no quantile ever exceeds Max.
+func TestQuantileEdgeCases(t *testing.T) {
+	qs := []float64{-1, 0, 0.5, 0.95, 0.99, 1, 2}
+
+	t.Run("empty", func(t *testing.T) {
+		var h Histogram
+		for _, q := range qs {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("empty histogram Quantile(%v) = %d, want 0", q, got)
+			}
+		}
+		snap := h.Snapshot()
+		if snap.P50 != 0 || snap.P95 != 0 || snap.P99 != 0 || snap.Max != 0 {
+			t.Errorf("empty snapshot has nonzero percentiles: %+v", snap)
+		}
+	})
+
+	t.Run("single-bucket", func(t *testing.T) {
+		var h Histogram
+		for i := 0; i < 100; i++ {
+			h.Observe(4242) // one bucket; Max clamps the bucket upper bound
+		}
+		snap := h.Snapshot()
+		if len(snap.Buckets) != 1 {
+			t.Fatalf("expected 1 sparse bucket, got %d", len(snap.Buckets))
+		}
+		for _, q := range qs {
+			if got := snap.Quantile(q); got != snap.Max {
+				t.Errorf("single-bucket Quantile(%v) = %d, want Max=%d", q, got, snap.Max)
+			}
+		}
+		if snap.P50 != snap.P99 {
+			t.Errorf("single-bucket snapshot p50=%d != p99=%d", snap.P50, snap.P99)
+		}
+	})
+
+	t.Run("clamped-to-max", func(t *testing.T) {
+		var h Histogram
+		h.Observe(1000)
+		h.Observe(999_999)
+		snap := h.Snapshot()
+		for _, q := range qs {
+			if got := snap.Quantile(q); got > snap.Max {
+				t.Errorf("Quantile(%v) = %d exceeds Max=%d", q, got, snap.Max)
+			}
+		}
+		if got := snap.Quantile(0); float64(got) > 1000*(1+maxRelErr)+1 {
+			t.Errorf("Quantile(0) = %d, want the smallest bucket (~1000)", got)
+		}
+	})
+}
+
+// TestHistogramSnapshotExactMerge checks that merging per-container
+// snapshots through the sparse buckets reproduces exactly the percentiles a
+// single histogram over the union of observations reports.
+func TestHistogramSnapshotExactMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, union Histogram
+	for i := 0; i < 10_000; i++ {
+		v := rng.Int63n(1_000_000)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		union.Observe(v)
+	}
+	merged := MergeHistograms(a.Snapshot(), b.Snapshot())
+	want := union.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum || merged.Max != want.Max {
+		t.Fatalf("merged count/sum/max = %d/%d/%d, union says %d/%d/%d",
+			merged.Count, merged.Sum, merged.Max, want.Count, want.Sum, want.Max)
+	}
+	if merged.P50 != want.P50 || merged.P95 != want.P95 || merged.P99 != want.P99 {
+		t.Errorf("merged percentiles %d/%d/%d differ from union %d/%d/%d",
+			merged.P50, merged.P95, merged.P99, want.P50, want.P95, want.P99)
+	}
+	if len(merged.Buckets) == 0 {
+		t.Error("merged snapshot lost its sparse buckets")
+	}
+	// Merging with an empty side is the identity.
+	if got := MergeHistograms(merged, HistogramSnapshot{}); got.Count != merged.Count || got.P99 != merged.P99 {
+		t.Errorf("merge with empty changed the snapshot: %+v", got)
+	}
+}
+
+// TestHistogramSnapshotDeltaSince checks the windowed-difference path the
+// monitor uses: later minus earlier recovers exactly the observations made
+// in between, and a shrinking histogram (container restart) falls back to
+// the later snapshot instead of going negative.
+func TestHistogramSnapshotDeltaSince(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var h, windowOnly Histogram
+	for i := 0; i < 5000; i++ {
+		h.Observe(rng.Int63n(100_000))
+	}
+	earlier := h.Snapshot()
+	for i := 0; i < 5000; i++ {
+		v := 500_000 + rng.Int63n(100_000) // shifted so the window is distinguishable
+		h.Observe(v)
+		windowOnly.Observe(v)
+	}
+	later := h.Snapshot()
+	delta := later.DeltaSince(earlier)
+	want := windowOnly.Snapshot()
+	if delta.Count != want.Count || delta.Sum != want.Sum {
+		t.Fatalf("delta count/sum = %d/%d, want %d/%d", delta.Count, delta.Sum, want.Count, want.Sum)
+	}
+	if delta.P50 != want.P50 || delta.P99 != want.P99 {
+		t.Errorf("delta percentiles %d/%d, want %d/%d", delta.P50, delta.P99, want.P50, want.P99)
+	}
+
+	// Restart: the "later" snapshot has fewer observations than "earlier".
+	var fresh Histogram
+	fresh.Observe(1)
+	restarted := fresh.Snapshot()
+	if got := restarted.DeltaSince(earlier); got.Count != restarted.Count {
+		t.Errorf("reset delta = %+v, want the later snapshot unchanged", got)
+	}
+	// Empty earlier is the identity.
+	if got := later.DeltaSince(HistogramSnapshot{}); got.Count != later.Count {
+		t.Errorf("delta since empty = %+v, want later unchanged", got)
+	}
+}
+
 func BenchmarkHistogramObserve(b *testing.B) {
 	var h Histogram
 	b.ReportAllocs()

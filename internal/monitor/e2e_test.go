@@ -1,0 +1,168 @@
+package monitor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"samzasql/internal/executor"
+	"samzasql/internal/sql/catalog"
+	"samzasql/internal/workload"
+	"samzasql/internal/zk"
+)
+
+// httpQuery fetches one /query response from the introspection server,
+// reporting false on any transport, status, or decode failure so callers
+// can poll.
+func httpQuery(t *testing.T, base, params string) (QueryResponse, bool) {
+	t.Helper()
+	resp, err := http.Get(base + "/query?" + params)
+	if err != nil {
+		return QueryResponse{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return QueryResponse{}, false
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return QueryResponse{}, false
+	}
+	return out, true
+}
+
+// TestQueryEndpointMergedCrossContainerP99 is the acceptance e2e: a
+// 2-container SQL job publishes per-container operator histograms on
+// __metrics; /query answers the merged cross-container p99 for the filter
+// operator, and the merged window count equals the sum of the two
+// per-container counts exactly (sparse-bucket merge, not an average).
+func TestQueryEndpointMergedCrossContainerP99(t *testing.T) {
+	broker, runner := testEnv()
+	cat := catalog.New()
+	if err := workload.DefineCatalog(cat); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.ProduceOrders(broker, "orders", 4, 2000, workload.DefaultOrdersConfig()); err != nil {
+		t.Fatal(err)
+	}
+	e := executor.NewEngine(cat, broker, runner, zk.NewStore())
+	e.Containers = 2
+	e.MetricsInterval = 10 * time.Millisecond
+
+	mon, err := Start(Config{Broker: broker, EvalInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Stop()
+	mon.Register(runner)
+	addr, shutdown, err := runner.ServeIntrospection("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(context.Background())
+	base := "http://" + addr
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p, job, err := e.ExecuteStream(ctx, "SELECT STREAM * FROM Orders WHERE units > 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+
+	const metric = "operator.filter.process-ns"
+	q := func(extra string) (QueryResponse, bool) {
+		return httpQuery(t, base, fmt.Sprintf("metric=%s&agg=p99&job=%s&window=1m%s", metric, p.JobName, extra))
+	}
+	// Wait for both containers to report, the merged count to equal their
+	// sum, and the count to have stopped moving (job drained) — equality at
+	// a quiescent moment is the exact-merge acceptance check.
+	var merged, per0, per1 QueryResponse
+	prevCount := int64(-1)
+	waitFor(t, 20*time.Second, func() bool {
+		c0, ok0 := q("&container=0")
+		c1, ok1 := q("&container=1")
+		m, okM := q("")
+		if !ok0 || !ok1 || !okM {
+			return false
+		}
+		stable := m.Count == prevCount
+		prevCount = m.Count
+		merged, per0, per1 = m, c0, c1
+		return c0.Count > 0 && c1.Count > 0 && m.Count == c0.Count+c1.Count && stable
+	}, "merged cross-container p99 covering both containers")
+	if merged.Value <= 0 {
+		t.Fatalf("merged p99 = %d ns, want > 0", merged.Value)
+	}
+	// The merged p99 is a real data point, not below either container's own
+	// p50-scale floor: it must be at least the smaller per-container p99's
+	// bucket (both containers saw ~half the messages each).
+	if merged.Value < min64(per0.Value, per1.Value) {
+		t.Fatalf("merged p99 %d below both per-container p99s (%d, %d)", merged.Value, per0.Value, per1.Value)
+	}
+
+	// /alerts responds with well-formed JSON even with nothing firing.
+	resp, err := http.Get(base + "/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/alerts status %d", resp.StatusCode)
+	}
+	var alerts AlertsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&alerts); err != nil {
+		t.Fatalf("decode /alerts: %v", err)
+	}
+	if alerts.Active == nil || alerts.Recent == nil {
+		t.Fatal("/alerts must return non-nil arrays")
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestQueryEndpointBadRequests pins the HTTP contract: missing metric and
+// malformed parameters are 400s, unknown metrics are empty 200s.
+func TestQueryEndpointBadRequests(t *testing.T) {
+	broker, runner := testEnv()
+	mon, err := Start(Config{Broker: broker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Stop()
+	mon.Register(runner)
+	addr, shutdown, err := runner.ServeIntrospection("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(context.Background())
+	base := "http://" + addr
+
+	for _, c := range []struct {
+		params string
+		status int
+	}{
+		{"", http.StatusBadRequest},
+		{"metric=x&agg=median", http.StatusBadRequest},
+		{"metric=x&container=zero", http.StatusBadRequest},
+		{"metric=x&window=-5s", http.StatusBadRequest},
+		{"metric=does-not-exist&agg=p99", http.StatusOK},
+	} {
+		resp, err := http.Get(base + "/query?" + c.params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Errorf("GET /query?%s = %d, want %d", c.params, resp.StatusCode, c.status)
+		}
+	}
+}

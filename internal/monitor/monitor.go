@@ -1,0 +1,435 @@
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"samzasql/internal/kafka"
+	"samzasql/internal/metrics"
+	"samzasql/internal/samza"
+	"samzasql/internal/serde"
+	"samzasql/internal/trace"
+)
+
+// MonitorJob is the pseudo-job name the monitor files its own metrics
+// under in the store (container -1), so the observability pipeline is
+// queryable through its own /query endpoint.
+const MonitorJob = "__monitor"
+
+// DefaultEvalInterval is the rule-evaluation period when the config does
+// not choose one.
+const DefaultEvalInterval = 100 * time.Millisecond
+
+// DefaultRecentTraces bounds the per-job assembled-trace store feeding the
+// operator breakdowns.
+const DefaultRecentTraces = 128
+
+// HealthSource reports per-task liveness, shaped like the /healthz payload:
+// job name -> task name -> state ("init", "running", "stopped", "failed").
+// JobRunner-backed monitors pass a closure over RunningJob.TaskHealth.
+type HealthSource func() map[string]map[string]string
+
+// Config configures a Monitor.
+type Config struct {
+	// Broker is the broker whose telemetry streams the monitor tails and
+	// whose alerts topic it publishes to. Required.
+	Broker *kafka.Broker
+	// MetricsTopic defaults to samza.DefaultMetricsTopic.
+	MetricsTopic string
+	// TraceTopic defaults to samza.DefaultTraceTopic.
+	TraceTopic string
+	// AlertsTopic defaults to DefaultAlertsTopic.
+	AlertsTopic string
+	// Health, when set, feeds the task-flap rule. Polled every eval tick.
+	Health HealthSource
+	// Rules is the SLO rule set; nil means DefaultRules().
+	Rules []Rule
+	// EvalInterval is the rule-evaluation period; 0 means
+	// DefaultEvalInterval.
+	EvalInterval time.Duration
+	// Capacity is the per-series ring size; 0 means DefaultCapacity.
+	Capacity int
+	// RecentTraces is the per-job trace-store size; 0 means
+	// DefaultRecentTraces.
+	RecentTraces int
+}
+
+// Monitor tails the telemetry streams into the store and evaluates the
+// rule set. Create with Start, release with Stop.
+type Monitor struct {
+	cfg    Config
+	store  *Store
+	am     *alertManager
+	mtail  *samza.MetricsTailer
+	ttail  *samza.TraceTailer
+	alerts serde.Serde
+
+	// Monitor self-metrics, pre-bound (never looked up on the ingest path).
+	reg             *metrics.Registry
+	snapshotsIn     *metrics.Counter
+	spansIn         *metrics.Counter
+	eventsIn        *metrics.Counter
+	alertsPublished *metrics.Counter
+	decodeErrors    *metrics.Counter
+	publishErrors   *metrics.Counter
+
+	// traceMu guards the per-job trace/event state written by the run loop
+	// and read by the top/query surfaces. trace.Recent is internally
+	// locked; the mutex covers the maps themselves.
+	traceMu sync.RWMutex
+	recent  map[string]*trace.Recent
+	events  []trace.Event // lifecycle ring, newest last
+	dropped int64         // spans lost to ring overflow, from batch headers
+
+	// Health-flap log, written by the run loop only.
+	prevHealth map[flapKey]string
+	flapLog    []flapEvent
+
+	metricsCh chan []*samza.MetricsSnapshotMessage
+	tracesCh  chan []*samza.TraceBatchMessage
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// flapKey identifies one task for liveness tracking.
+type flapKey struct{ job, task string }
+
+// flapEvent is one observed liveness transition.
+type flapEvent struct {
+	key        flapKey
+	timeMillis int64
+}
+
+// eventsCap bounds the retained lifecycle-event ring.
+const eventsCap = 512
+
+// flapLogCap bounds the retained liveness-transition log.
+const flapLogCap = 1024
+
+// Start builds the monitor, ensures its topics exist, and launches the
+// poller and run-loop goroutines. The returned monitor is live until Stop.
+func Start(cfg Config) (*Monitor, error) {
+	if cfg.Broker == nil {
+		return nil, fmt.Errorf("monitor: config needs a broker")
+	}
+	if cfg.MetricsTopic == "" {
+		cfg.MetricsTopic = samza.DefaultMetricsTopic
+	}
+	if cfg.TraceTopic == "" {
+		cfg.TraceTopic = samza.DefaultTraceTopic
+	}
+	if cfg.AlertsTopic == "" {
+		cfg.AlertsTopic = DefaultAlertsTopic
+	}
+	if cfg.Rules == nil {
+		cfg.Rules = DefaultRules()
+	}
+	if cfg.EvalInterval <= 0 {
+		cfg.EvalInterval = DefaultEvalInterval
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.RecentTraces <= 0 {
+		cfg.RecentTraces = DefaultRecentTraces
+	}
+	for _, topic := range []string{cfg.MetricsTopic, cfg.TraceTopic, cfg.AlertsTopic} {
+		if err := cfg.Broker.EnsureTopic(topic, kafka.TopicConfig{Partitions: 1}); err != nil {
+			return nil, fmt.Errorf("monitor: ensure topic %s: %w", topic, err)
+		}
+	}
+	alertSerde, err := serde.Lookup("alert")
+	if err != nil {
+		return nil, err
+	}
+	mtail, err := samza.NewMetricsTailer(cfg.Broker, cfg.MetricsTopic)
+	if err != nil {
+		return nil, err
+	}
+	ttail, err := samza.NewTraceTailer(cfg.Broker, cfg.TraceTopic)
+	if err != nil {
+		mtail.Close()
+		return nil, err
+	}
+	reg := metrics.NewRegistry()
+	m := &Monitor{
+		cfg:             cfg,
+		store:           NewStore(cfg.Capacity),
+		am:              newAlertManager(),
+		mtail:           mtail,
+		ttail:           ttail,
+		alerts:          alertSerde,
+		reg:             reg,
+		snapshotsIn:     reg.Counter("monitor.snapshots-ingested"),
+		spansIn:         reg.Counter("monitor.spans-ingested"),
+		eventsIn:        reg.Counter("monitor.events-ingested"),
+		alertsPublished: reg.Counter("monitor.alerts-published"),
+		decodeErrors:    reg.Counter("monitor.decode-errors"),
+		publishErrors:   reg.Counter("monitor.publish-errors"),
+		recent:          map[string]*trace.Recent{},
+		prevHealth:      map[flapKey]string{},
+		metricsCh:       make(chan []*samza.MetricsSnapshotMessage, 16),
+		tracesCh:        make(chan []*samza.TraceBatchMessage, 16),
+	}
+	// The tailers' own lag gauges land in the monitor registry, which the
+	// run loop files into the store each tick — the pipeline observes
+	// itself falling behind.
+	mtail.BindLag(reg)
+	ttail.BindLag(reg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	m.cancel = cancel
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.tailMetrics(ctx)
+	}()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.tailTraces(ctx)
+	}()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.run(ctx)
+	}()
+	return m, nil
+}
+
+// Stop cancels the goroutines, waits for them, and releases the tailers.
+func (m *Monitor) Stop() {
+	m.cancel()
+	m.wg.Wait()
+	m.mtail.Close()
+	m.ttail.Close()
+}
+
+// Store exposes the time-series store for queries.
+func (m *Monitor) Store() *Store { return m.store }
+
+// Metrics exposes the monitor's self-metrics registry.
+func (m *Monitor) Metrics() *metrics.Registry { return m.reg }
+
+// ActiveAlerts returns the currently-firing alerts.
+func (m *Monitor) ActiveAlerts() []ActiveAlert { return m.am.Active() }
+
+// RecentAlerts returns up to max recent alert transitions, newest last.
+func (m *Monitor) RecentAlerts(max int) []AlertMessage { return m.am.Recent(max) }
+
+// RecentTraces returns the assembled recent traces for a job, newest
+// first, for the operator breakdown surfaces.
+func (m *Monitor) RecentTraces(job string) []*trace.TraceData {
+	m.traceMu.RLock()
+	r := m.recent[job]
+	m.traceMu.RUnlock()
+	if r == nil {
+		return nil
+	}
+	return r.Traces()
+}
+
+// RecentEvents returns up to max retained lifecycle events, newest last.
+func (m *Monitor) RecentEvents(max int) []trace.Event {
+	m.traceMu.RLock()
+	defer m.traceMu.RUnlock()
+	n := len(m.events)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]trace.Event, n)
+	copy(out, m.events[len(m.events)-n:])
+	return out
+}
+
+// tailMetrics blocks on the metrics tailer and forwards decoded batches to
+// the run loop. Decode errors are counted, the decoded prefix still
+// delivered; the loop exits when ctx ends.
+func (m *Monitor) tailMetrics(ctx context.Context) {
+	for {
+		batch, err := m.mtail.Poll(ctx, 256)
+		if err != nil && ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			m.decodeErrors.Inc()
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		select {
+		case m.metricsCh <- batch:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// tailTraces is tailMetrics for the trace stream.
+func (m *Monitor) tailTraces(ctx context.Context) {
+	for {
+		batch, err := m.ttail.Poll(ctx, 256)
+		if err != nil && ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			m.decodeErrors.Inc()
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		select {
+		case m.tracesCh <- batch:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// run is the single writer: it ingests batches from both pollers and
+// evaluates the rule set every EvalInterval.
+func (m *Monitor) run(ctx context.Context) {
+	tick := time.NewTicker(m.cfg.EvalInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case batch := <-m.metricsCh:
+			m.ingestMetrics(batch)
+		case batch := <-m.tracesCh:
+			m.ingestTraces(batch)
+		case <-tick.C:
+			m.evaluate(time.Now())
+		}
+	}
+}
+
+// ingestMetrics fans snapshot batches into the store.
+func (m *Monitor) ingestMetrics(batch []*samza.MetricsSnapshotMessage) {
+	for _, msg := range batch {
+		m.store.IngestSnapshot(msg.Job, msg.Container, msg.TimeMillis, msg.Metrics, msg.Final)
+		m.snapshotsIn.Inc()
+	}
+}
+
+// ingestTraces folds span batches into the per-job trace stores and the
+// lifecycle-event ring.
+func (m *Monitor) ingestTraces(batch []*samza.TraceBatchMessage) {
+	for _, msg := range batch {
+		if len(msg.Spans) > 0 {
+			m.traceMu.Lock()
+			r := m.recent[msg.Job]
+			if r == nil {
+				r = trace.NewRecent(m.cfg.RecentTraces)
+				m.recent[msg.Job] = r
+			}
+			m.traceMu.Unlock()
+			// Recent is internally locked; Add outside traceMu keeps the
+			// read path (RecentTraces) from stalling behind assembly.
+			r.Add(msg.Spans)
+			m.spansIn.Add(int64(len(msg.Spans)))
+		}
+		if len(msg.Events) > 0 {
+			m.traceMu.Lock()
+			m.events = append(m.events, msg.Events...)
+			if len(m.events) > eventsCap {
+				m.events = m.events[len(m.events)-eventsCap:]
+			}
+			m.traceMu.Unlock()
+			m.eventsIn.Add(int64(len(msg.Events)))
+		}
+		if msg.Dropped > 0 {
+			m.traceMu.Lock()
+			m.dropped += msg.Dropped
+			m.traceMu.Unlock()
+		}
+	}
+}
+
+// evaluate runs one rule pass: refresh self-observability, poll health for
+// flap tracking, evaluate every rule, and publish any transitions. No
+// monitor lock is held while publishing.
+func (m *Monitor) evaluate(now time.Time) {
+	// Tailer lag gauges + own counters into the store under the
+	// pseudo-job, so /query can answer for the monitor itself. A lag
+	// refresh failure just leaves the gauge at its last value.
+	_, _ = m.mtail.UpdateLag()
+	_, _ = m.ttail.UpdateLag()
+	m.store.IngestSnapshot(MonitorJob, -1, now.UnixMilli(), m.reg.Snapshot(), false)
+
+	if m.cfg.Health != nil {
+		m.observeHealth(m.cfg.Health(), now.UnixMilli())
+	}
+
+	nowMillis := now.UnixMilli()
+	var transitions []*AlertMessage
+	for _, rule := range m.cfg.Rules {
+		for _, v := range m.evalRule(rule, now) {
+			if t := m.am.observe(rule, v.job, v.subject, v.violated, v.value, v.reason, nowMillis); t != nil {
+				transitions = append(transitions, t)
+			}
+		}
+	}
+	for _, t := range transitions {
+		m.publishAlert(t)
+	}
+}
+
+// observeHealth diffs the liveness map against the previous tick and logs
+// transitions for the flap rule. First sight of a task is not a flap.
+func (m *Monitor) observeHealth(health map[string]map[string]string, nowMillis int64) {
+	for job, tasks := range health {
+		for task, state := range tasks {
+			key := flapKey{job: job, task: task}
+			prev, seen := m.prevHealth[key]
+			m.prevHealth[key] = state
+			if seen && prev != state {
+				m.flapLog = append(m.flapLog, flapEvent{key: key, timeMillis: nowMillis})
+			}
+		}
+	}
+	if len(m.flapLog) > flapLogCap {
+		m.flapLog = m.flapLog[len(m.flapLog)-flapLogCap:]
+	}
+}
+
+// flapCounts counts logged transitions per task since fromMillis. Tasks
+// that are currently tracked but quiet report zero, so their alerts can
+// resolve.
+func (m *Monitor) flapCounts(fromMillis int64) map[flapKey]int64 {
+	out := make(map[flapKey]int64, len(m.prevHealth))
+	for key := range m.prevHealth {
+		out[key] = 0
+	}
+	for _, ev := range m.flapLog {
+		if ev.timeMillis >= fromMillis {
+			out[ev.key]++
+		}
+	}
+	return out
+}
+
+// publishAlert serde-encodes one transition onto the alerts topic. Errors
+// are counted, never fatal: alerting must not take down the monitor.
+func (m *Monitor) publishAlert(msg *AlertMessage) {
+	data, err := m.alerts.Encode(msg)
+	if err != nil {
+		m.publishErrors.Inc()
+		return
+	}
+	_, err = m.cfg.Broker.Produce(m.cfg.AlertsTopic, kafka.Message{
+		Partition: 0,
+		Key:       []byte(msg.Rule + "/" + msg.Subject),
+		Value:     data,
+		Timestamp: msg.TimeMillis,
+	})
+	if err != nil {
+		m.publishErrors.Inc()
+		return
+	}
+	m.alertsPublished.Inc()
+}

@@ -38,6 +38,15 @@ func (r *JobRunner) ServeIntrospection(addr string) (string, func(context.Contex
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// Mount handlers registered through Handle before serving started, then
+	// publish the mux so later registrations attach to it directly.
+	r.httpMu.Lock()
+	for pattern, h := range r.httpExtra {
+		mux.Handle(pattern, h)
+	}
+	r.httpExtra = nil
+	r.httpMux = mux
+	r.httpMu.Unlock()
 	srv := &http.Server{Handler: mux}
 	var wg sync.WaitGroup
 	wg.Add(1)

@@ -101,3 +101,29 @@ func TestIntrospectionEndpoints(t *testing.T) {
 		t.Fatalf("/debug/pprof/ status %d body %.80s", code, body)
 	}
 }
+
+// TestIntrospectionExtraHandlers checks JobRunner.Handle registration both
+// before and after the server starts — the hook the monitor uses to mount
+// /query and /alerts without samza importing it.
+func TestIntrospectionExtraHandlers(t *testing.T) {
+	_, runner := testEnv()
+	runner.Handle("/before", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "registered before serve")
+	}))
+	addr, shutdown, err := runner.ServeIntrospection("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(context.Background())
+	runner.Handle("/after", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "registered after serve")
+	}))
+
+	base := "http://" + addr
+	if code, body := httpGet(t, base+"/before"); code != http.StatusOK || body != "registered before serve" {
+		t.Fatalf("/before status %d body %q", code, body)
+	}
+	if code, body := httpGet(t, base+"/after"); code != http.StatusOK || body != "registered after serve" {
+		t.Fatalf("/after status %d body %q", code, body)
+	}
+}

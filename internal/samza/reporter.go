@@ -30,6 +30,11 @@ type MetricsSnapshotMessage struct {
 	TimeMillis int64 `json:"time-millis"`
 	// Seq numbers this container's snapshots from 1.
 	Seq int64 `json:"seq"`
+	// Final marks the flush published when the container stops. Consumers
+	// (the monitor, tests on short-lived jobs) use it to close out a
+	// container's series instead of waiting for an interval that will never
+	// tick again.
+	Final bool `json:"final,omitempty"`
 	// Metrics is the typed registry snapshot.
 	Metrics metrics.Snapshot `json:"metrics"`
 }
@@ -95,7 +100,9 @@ func NewMetricsSnapshotReporter(b *kafka.Broker, job string, container int, topi
 }
 
 // Publish serializes one snapshot onto the metrics stream.
-func (r *MetricsSnapshotReporter) Publish() error {
+func (r *MetricsSnapshotReporter) Publish() error { return r.publish(false) }
+
+func (r *MetricsSnapshotReporter) publish(final bool) error {
 	if r.refresh != nil {
 		r.refresh()
 	}
@@ -105,6 +112,7 @@ func (r *MetricsSnapshotReporter) Publish() error {
 		Container:  r.container,
 		TimeMillis: time.Now().UnixMilli(),
 		Seq:        r.seq,
+		Final:      final,
 		Metrics:    r.reg.Snapshot(),
 	}
 	data, err := r.s.Encode(msg)
@@ -123,21 +131,23 @@ func (r *MetricsSnapshotReporter) Publish() error {
 	return nil
 }
 
-// Run publishes until ctx is cancelled, then flushes a final snapshot.
-// Publish errors are not fatal to the job: metrics reporting must never take
-// down the pipeline it observes, so Run drops failed publishes and tries
-// again next tick.
+// Run publishes until ctx is cancelled, then flushes a final snapshot
+// (Final=true — mirroring TraceReporter's final flush) so a job that stops
+// between ticks still leaves its closing counters on the stream. Publish
+// errors are not fatal to the job: metrics reporting must never take down
+// the pipeline it observes, so Run drops failed publishes and tries again
+// next tick.
 func (r *MetricsSnapshotReporter) Run(ctx context.Context) {
-	_ = r.Publish()
+	_ = r.publish(false)
 	t := time.NewTicker(r.interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
-			_ = r.Publish()
+			_ = r.publish(true)
 			return
 		case <-t.C:
-			_ = r.Publish()
+			_ = r.publish(false)
 		}
 	}
 }

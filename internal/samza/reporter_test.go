@@ -122,3 +122,64 @@ func TestMetricsSnapshotReporterPublishes(t *testing.T) {
 		}
 	}
 }
+
+// TestMetricsReporterFinalSnapshotShortLivedJob is the regression test for
+// the stop-flush: a job that stops long before its first interval tick must
+// still leave an initial and a Final=true closing snapshot on __metrics,
+// with the closing one carrying the complete end-of-run counters.
+func TestMetricsReporterFinalSnapshotShortLivedJob(t *testing.T) {
+	b, runner := testEnv()
+	if err := b.EnsureTopic("in", kafka.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.EnsureTopic("out", kafka.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	produceN(t, b, "in", 0, 10, "x")
+
+	job := &JobSpec{
+		Name:        "short-lived",
+		Inputs:      []StreamSpec{{Topic: "in"}},
+		TaskFactory: func() StreamTask { return &passthroughTask{out: "out"} },
+		// An interval the job will never reach: every snapshot on the
+		// stream is either the startup publish or the stop flush.
+		MetricsInterval: time.Hour,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rj, err := runner.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return rj.MetricsSnapshot().Counters["messages-processed"] >= 10
+	}, "all messages processed")
+	rj.Stop()
+
+	tailer, err := NewMetricsTailer(b, DefaultMetricsTopic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tailer.Close()
+	tctx, tcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer tcancel()
+	snaps, err := tailer.Poll(tctx, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("short-lived job published %d snapshots, want >= 2 (initial + final)", len(snaps))
+	}
+	for i, s := range snaps[:len(snaps)-1] {
+		if s.Final {
+			t.Fatalf("snapshot %d of %d marked Final", i, len(snaps))
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if !last.Final {
+		t.Fatalf("closing snapshot not marked Final: %+v", last)
+	}
+	if got := last.Metrics.Counters["messages-processed"]; got != 10 {
+		t.Fatalf("final snapshot messages-processed = %d, want 10", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -35,6 +36,32 @@ type JobRunner struct {
 	evOn    bool
 	evTopic string
 	evSeq   int64
+
+	// Extra introspection handlers (the monitor's /query and /alerts).
+	// Registered onto the mux when ServeIntrospection starts; patterns added
+	// after that attach to the live mux directly.
+	httpMu    sync.Mutex
+	httpMux   *http.ServeMux
+	httpExtra map[string]http.Handler
+}
+
+// Handle registers an extra handler on the introspection HTTP server —
+// how subsystems layered above samza (the monitor's /query and /alerts)
+// surface endpoints without this package importing them. Safe to call
+// before or after ServeIntrospection; handlers registered before serving
+// are mounted when the server starts.
+func (r *JobRunner) Handle(pattern string, h http.Handler) {
+	r.httpMu.Lock()
+	defer r.httpMu.Unlock()
+	if r.httpMux != nil {
+		// ServeMux is safe for concurrent registration and serving.
+		r.httpMux.Handle(pattern, h)
+		return
+	}
+	if r.httpExtra == nil {
+		r.httpExtra = map[string]http.Handler{}
+	}
+	r.httpExtra[pattern] = h
 }
 
 // NewJobRunner builds a runner over the broker and cluster. The cluster's
