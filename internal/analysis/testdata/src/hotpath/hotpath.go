@@ -76,6 +76,62 @@ func processBlock(rows []int, keys []string) [][]any {
 	return cols
 }
 
+// statefulOp models the block-native stateful operators (join, sliding
+// window, aggregate): the per-block distinct-key state map and the
+// downstream sink live on the operator, the map is cleared by a
+// non-annotated reset helper, and the sink closure binds once at Open. The
+// hotpath fold loop then runs allocation-free per row; state-map allocation
+// granularity is per operator lifetime, never per block or per row.
+type statefulOp struct {
+	states map[string]int
+	keys   []string
+	emit   func(k string)
+}
+
+// resetStates is deliberately un-annotated: allocating the map on first use
+// and clearing it between blocks is the prescribed hoisting pattern for the
+// make(map) diagnostic below.
+func (o *statefulOp) resetStates() {
+	if o.states == nil {
+		o.states = make(map[string]int)
+	}
+	for k := range o.states {
+		delete(o.states, k)
+	}
+	o.keys = o.keys[:0]
+}
+
+// bind is the Open-time pattern for the escaping-closure diagnostic: the
+// sink closure is constructed once, outside any hot path, and the hot path
+// only invokes the stored field.
+func (o *statefulOp) bind(sink func(string)) {
+	o.emit = func(k string) { sink(k) }
+}
+
+//samzasql:hotpath
+func (o *statefulOp) foldBlock(rows []int, keys []string) {
+	o.resetStates() // legal: the allocation lives in the un-annotated helper
+	for r := range rows {
+		if _, ok := o.states[keys[r]]; !ok {
+			o.keys = append(o.keys, keys[r]) // distinct keys in first-touch order
+		}
+		o.states[keys[r]] += rows[r]
+	}
+	for _, k := range o.keys {
+		o.emit(k) // legal: bound once in bind, not constructed here
+	}
+}
+
+//samzasql:hotpath
+func (o *statefulOp) foldBlockPerBlockAllocs(rows []int, keys []string, flush func(func(string))) {
+	states := make(map[string]int) // want `make\(map\) in a //samzasql:hotpath function`
+	for r := range rows {
+		states[keys[r]] += rows[r]
+	}
+	o.states = states
+	flush(func(k string) { _ = o.states[k] }) // want `closure in //samzasql:hotpath function foldBlockPerBlockAllocs captures "o" and escapes`
+}
+
 // cold has no annotation: the same patterns are legal here.
 func cold(key string, n int) string {
 	m := make(map[string]int)

@@ -145,12 +145,33 @@ func TestCheckShape(t *testing.T) {
 		t.Fatal("parity rows not flagged for filter figure")
 	}
 	joinSpec, _ := FigureByID("5c")
-	if v := CheckShape(joinSpec, []FigureRow{{Containers: 1, Ratio: 0.5}}); len(v) != 0 {
-		t.Fatalf("join ratio 0.5 flagged: %v", v)
+	if v := CheckShape(joinSpec, []FigureRow{{Containers: 1, Ratio: 0.93}}); len(v) != 0 {
+		t.Fatalf("join near-parity flagged: %v", v)
+	}
+	// The pre-vectorization gap (scalar per-probe relation reads) is now a
+	// regression.
+	if v := CheckShape(joinSpec, []FigureRow{{Containers: 1, Ratio: 0.5}}); len(v) == 0 {
+		t.Fatal("join ratio 0.5 not flagged after vectorization")
 	}
 	winSpec, _ := FigureByID("6")
-	if v := CheckShape(winSpec, []FigureRow{{Containers: 1, Ratio: 0.9}}); len(v) != 0 {
-		t.Fatalf("window parity flagged: %v", v)
+	if v := CheckShape(winSpec, []FigureRow{
+		{Containers: 1, Ratio: 0.9, SQL: 200_000},
+		{Containers: 2, Ratio: 2.5, SQL: 210_000},
+	}); len(v) != 0 {
+		t.Fatalf("window parity-or-better flagged: %v", v)
+	}
+	// The committed pre-vectorization x4 anomaly (ratio 0.48) is below the
+	// new floor.
+	if v := CheckShape(winSpec, []FigureRow{{Containers: 4, Ratio: 0.48, SQL: 150_000}}); len(v) == 0 {
+		t.Fatal("window ratio 0.48 not flagged after vectorization")
+	}
+	// A SQL-side collapse at one sweep point fails even when each per-point
+	// ratio stays inside the band.
+	if v := CheckShape(winSpec, []FigureRow{
+		{Containers: 1, Ratio: 1.2, SQL: 200_000},
+		{Containers: 2, Ratio: 0.8, SQL: 90_000},
+	}); len(v) == 0 {
+		t.Fatal("window sweep collapse not flagged")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -74,15 +75,62 @@ var equivCases = []equivCase{
 		// Every order matches exactly one product.
 		wantRows: func(orders [][]any) int { return len(orders) },
 	},
+	{
+		name:  "aggregate-grouped",
+		query: "SELECT STREAM productId, COUNT(*), SUM(units) FROM Orders GROUP BY productId",
+		// Early-results policy: every input tuple emits its group's row.
+		wantRows: func(orders [][]any) int { return len(orders) },
+	},
+	{
+		name: "aggregate-tumble",
+		query: `SELECT STREAM START(rowtime), END(rowtime), COUNT(*), SUM(units)
+		FROM Orders GROUP BY TUMBLE(rowtime, INTERVAL '1' SECOND)`,
+		// Simulate the operator's watermark protocol over the replay: each
+		// tuple opens its window (end = next 1s boundary after rowtime) when
+		// that end is still ahead of the watermark, then advancing the
+		// watermark to the tuple's rowtime closes every window it passed.
+		// Windows still open at end of input never emit in streaming mode.
+		wantRows: func(orders [][]any) int {
+			const w = int64(1000)
+			var wm int64
+			open := map[int64]bool{}
+			n := 0
+			for _, r := range orders {
+				ts := r[0].(int64)
+				if e := (ts/w + 1) * w; e > wm {
+					open[e] = true
+				}
+				if ts > wm {
+					for end := range open {
+						if end <= ts {
+							n++
+							delete(open, end)
+						}
+					}
+					wm = ts
+				}
+			}
+			return n
+		},
+	},
 }
 
 // runWithBatchSize executes the query as a streaming job with the given
 // delivery granularity and returns the complete output topic contents once
 // the expected row count has landed (plus a short grace window so trailing
-// duplicates would be caught).
-func runWithBatchSize(t *testing.T, query string, partitions int32, orders, batchSize, want int) []kafka.Message {
+// duplicates would be caught), together with the folded changelog state.
+func runWithBatchSize(t *testing.T, query string, partitions int32, orders, batchSize, want int) ([]kafka.Message, []string) {
 	t.Helper()
 	e, _ := testEngine(t, partitions, orders)
+	return runOnEngine(t, e, query, batchSize, want)
+}
+
+// runOnEngine is runWithBatchSize over a pre-built engine (scenarios with
+// their own catalog and data, e.g. the repartitioned Clicks join). The job
+// is stopped before the changelog digest is taken, so buffered state writes
+// have flushed.
+func runOnEngine(t *testing.T, e *Engine, query string, batchSize, want int) ([]kafka.Message, []string) {
+	t.Helper()
 	e.BatchSize = batchSize
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -99,6 +147,63 @@ func runWithBatchSize(t *testing.T, query string, partitions int32, orders, batc
 	if len(out) != want {
 		t.Fatalf("batch=%d: %d output rows, want %d (duplicates or stragglers)", batchSize, len(out), want)
 	}
+	rj.Stop()
+	return out, changelogDigest(t, e.Broker)
+}
+
+// changelogDigest folds every changelog topic last-write-wins per (topic,
+// partition, key) — an empty value is a tombstone — so two runs that leave
+// identical durable state produce identical digests no matter how many
+// intermediate versions each wrote. The scalar path writes state once per
+// tuple and the block path once per key per block; equality here proves the
+// batched write-back converges to the same store contents a replay would
+// restore.
+func changelogDigest(t *testing.T, b *kafka.Broker) []string {
+	t.Helper()
+	state := map[string]string{}
+	for _, topic := range b.Topics() {
+		if !strings.Contains(topic, "-changelog") {
+			continue
+		}
+		nParts, err := b.Partitions(topic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for part := int32(0); part < nParts; part++ {
+			tp := kafka.TopicPartition{Topic: topic, Partition: part}
+			hwm, err := b.HighWatermark(tp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off, err := b.StartOffset(tp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for off < hwm {
+				msgs, wait, err := b.Fetch(tp, off, 512)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wait != nil {
+					break
+				}
+				for _, m := range msgs {
+					id := fmt.Sprintf("%s p%d k=%x", topic, part, m.Key)
+					if len(m.Value) == 0 {
+						delete(state, id)
+					} else {
+						state[id] = fmt.Sprintf("%s v=%x", id, m.Value)
+					}
+				}
+				off = msgs[len(msgs)-1].Offset + 1
+			}
+		}
+	}
+	out := make([]string, 0, len(state))
+	for _, v := range state {
+		out = append(out, v)
+	}
+	sort.Strings(out)
 	return out
 }
 
@@ -140,12 +245,36 @@ func TestBatchScalarEquivalence(t *testing.T) {
 	for _, c := range equivCases {
 		t.Run(c.name, func(t *testing.T) {
 			want := c.wantRows(replayed)
-			ref := digest(runWithBatchSize(t, c.query, 1, orders, samza.ScalarBatch, want))
+			refOut, refState := runWithBatchSize(t, c.query, 1, orders, samza.ScalarBatch, want)
+			ref := digest(refOut)
 			for _, bs := range sizes {
-				got := digest(runWithBatchSize(t, c.query, 1, orders, bs, want))
-				diffDigests(t, fmt.Sprintf("%s batch=%d", c.name, bs), ref, got)
+				gotOut, gotState := runWithBatchSize(t, c.query, 1, orders, bs, want)
+				diffDigests(t, fmt.Sprintf("%s batch=%d", c.name, bs), ref, digest(gotOut))
+				diffDigests(t, fmt.Sprintf("%s batch=%d state", c.name, bs), refState, gotState)
 			}
 		})
+	}
+}
+
+// TestBatchScalarEquivalenceRepartition covers the re-keying stage's batched
+// path plus the stream-relation join fed by the intermediate topic: the
+// Clicks scenario is published keyed by userId but joins on productId, so
+// every run routes through RepartitionTask. With a single partition the
+// whole dataflow is a deterministic sequence, so outputs, offsets and
+// changelog state must match the scalar reference byte for byte.
+func TestBatchScalarEquivalenceRepartition(t *testing.T) {
+	const clicks = 300
+	run := func(batchSize int) ([]kafka.Message, []string) {
+		e := clicksEngine(t, 1)
+		produceClicks(t, e, clicks)
+		return runOnEngine(t, e, clicksJoin, batchSize, clicks)
+	}
+	refOut, refState := run(samza.ScalarBatch)
+	ref := digest(refOut)
+	for _, bs := range []int{1, 7, 256} {
+		gotOut, gotState := run(bs)
+		diffDigests(t, fmt.Sprintf("repartition batch=%d", bs), ref, digest(gotOut))
+		diffDigests(t, fmt.Sprintf("repartition batch=%d state", bs), refState, gotState)
 	}
 }
 
@@ -167,10 +296,11 @@ func TestBatchScalarEquivalenceMultiPartition(t *testing.T) {
 				sort.Strings(out)
 				return out
 			}
-			ref := values(runWithBatchSize(t, c.query, 3, orders, samza.ScalarBatch, want))
+			refOut, _ := runWithBatchSize(t, c.query, 3, orders, samza.ScalarBatch, want)
+			ref := values(refOut)
 			for _, bs := range []int{1, 13, 256} {
-				got := values(runWithBatchSize(t, c.query, 3, orders, bs, want))
-				diffDigests(t, fmt.Sprintf("%s batch=%d", c.name, bs), ref, got)
+				gotOut, _ := runWithBatchSize(t, c.query, 3, orders, bs, want)
+				diffDigests(t, fmt.Sprintf("%s batch=%d", c.name, bs), ref, values(gotOut))
 			}
 		})
 	}

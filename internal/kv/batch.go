@@ -1,0 +1,132 @@
+package kv
+
+// Batched point reads. The vectorized operator paths cluster a block's
+// tuples by state key and then fetch every distinct key's state in one
+// call, so the store stack pays its per-operation overhead — the skiplist
+// lock, the latency observation, the trace leaf — once per block instead
+// of once per tuple. Writes stay per-key: the dirty batch in CachedStore
+// and the changelog buffer already amortize those.
+
+// BatchReader is implemented by stores that can serve multi-key point
+// reads with amortized per-call overhead. vals and oks are caller-owned
+// result slices of the same length as keys; vals[i], oks[i] receive what
+// Get(keys[i]) would have returned.
+type BatchReader interface {
+	GetMany(keys [][]byte, vals [][]byte, oks []bool)
+}
+
+// GetMany reads every keys[i] from s into vals[i], oks[i], using the
+// store's batched fast path when it has one and falling back to per-key
+// Get otherwise. len(vals) and len(oks) must equal len(keys).
+//
+//samzasql:hotpath
+func GetMany(s Store, keys [][]byte, vals [][]byte, oks []bool) {
+	if br, ok := s.(BatchReader); ok {
+		br.GetMany(keys, vals, oks)
+		return
+	}
+	for i, k := range keys {
+		vals[i], oks[i] = s.Get(k)
+	}
+}
+
+// GetMany serves the whole batch under one lock acquisition: the skiplist
+// descent per key is unavoidable, but the mutex and the read-counter
+// update are paid once per block rather than once per key.
+//
+//samzasql:hotpath
+func (s *store) GetMany(keys [][]byte, vals [][]byte, oks []bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reads += int64(len(keys))
+	for i, k := range keys {
+		vals[i], oks[i] = s.list.get(k)
+	}
+}
+
+// GetMany forwards the batched read to the store underneath; reads need no
+// changelog mirroring. (The embedded Store interface does not promote the
+// method — it is not part of Store — so the forwarder is explicit.)
+//
+//samzasql:hotpath
+func (c *ChangelogStore) GetMany(keys [][]byte, vals [][]byte, oks []bool) {
+	GetMany(c.Store, keys, vals, oks)
+}
+
+// GetMany serves cache-resident keys (including buffered uncommitted
+// writes and negative entries) straight from the cache and gathers the
+// misses into one inner batched read, so a block whose keys are cold costs
+// a single lock acquisition downstream instead of one per key. Entries
+// fetched for misses are inserted like Get would insert them; an insert
+// can evict an earlier entry mid-batch, which is safe because already
+// filled vals alias entry value slices that survive unlinking.
+//
+//samzasql:hotpath
+func (c *CachedStore) GetMany(keys [][]byte, vals [][]byte, oks []bool) {
+	missKeys := c.missKeys[:0]
+	missIdx := c.missIdx[:0]
+	for i, k := range keys {
+		if e, ok := c.entries[string(k)]; ok {
+			c.touch(e)
+			if c.hits != nil {
+				c.hits.Inc()
+			}
+			if e.present {
+				c.encodeEntry(e)
+				vals[i], oks[i] = e.value, true
+			} else {
+				vals[i], oks[i] = nil, false
+			}
+			continue
+		}
+		if c.misses != nil {
+			c.misses.Inc()
+		}
+		missKeys = append(missKeys, k)
+		missIdx = append(missIdx, i)
+	}
+	if len(missKeys) > 0 {
+		missVals := c.missVals[:0]
+		missOks := c.missOks[:0]
+		for range missKeys {
+			missVals = append(missVals, nil)
+			missOks = append(missOks, false)
+		}
+		GetMany(c.inner, missKeys, missVals, missOks)
+		for j, i := range missIdx {
+			vals[i], oks[i] = missVals[j], missOks[j]
+			// A duplicate key earlier in this batch may have inserted the
+			// entry already; re-inserting would double-link it in the LRU.
+			if _, ok := c.entries[string(missKeys[j])]; !ok {
+				c.insert(&cacheEntry{key: string(missKeys[j]), value: missVals[j], present: missOks[j]})
+			}
+		}
+		c.missVals, c.missOks = missVals[:0], missOks[:0]
+	}
+	c.missKeys, c.missIdx = missKeys[:0], missIdx[:0]
+}
+
+// GetObjectMany fills objs[i], oks[i] with the memoized decoded object for
+// each resident keys[i] — the batched form of GetObject. Misses are left
+// for the caller to resolve through GetMany plus its decoder; unlike
+// GetMany this never touches the inner store, because only the caller
+// knows how to decode.
+//
+//samzasql:hotpath
+func (c *CachedStore) GetObjectMany(keys [][]byte, objs []any, oks []bool) {
+	for i, k := range keys {
+		e, ok := c.entries[string(k)]
+		if !ok || !e.present || e.obj == nil {
+			if c.misses != nil {
+				c.misses.Inc()
+			}
+			objs[i], oks[i] = nil, false
+			continue
+		}
+		c.touch(e)
+		if c.hits != nil {
+			c.hits.Inc()
+		}
+		objs[i], oks[i] = e.obj, true
+	}
+}

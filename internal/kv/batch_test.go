@@ -1,0 +1,198 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+)
+
+// plainStore hides the batched fast path: the embedded interface only
+// promotes Store's methods, so kv.GetMany must fall back to per-key Get.
+type plainStore struct{ Store }
+
+func TestGetManyFallsBackToPerKeyGet(t *testing.T) {
+	inner := NewStore()
+	inner.Put([]byte("a"), []byte("1"))
+	inner.Put([]byte("c"), []byte("3"))
+	s := plainStore{inner}
+	if _, ok := any(s).(BatchReader); ok {
+		t.Fatal("wrapper unexpectedly exposes GetMany; fallback path untested")
+	}
+	keys := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	vals := make([][]byte, len(keys))
+	oks := make([]bool, len(keys))
+	GetMany(s, keys, vals, oks)
+	if !oks[0] || string(vals[0]) != "1" || oks[1] || !oks[2] || string(vals[2]) != "3" {
+		t.Fatalf("fallback results: vals=%q oks=%v", vals, oks)
+	}
+}
+
+func TestStoreGetManyMatchesGet(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		s.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	keys := [][]byte{[]byte("k3"), []byte("nope"), []byte("k7"), []byte("k3")}
+	vals := make([][]byte, len(keys))
+	oks := make([]bool, len(keys))
+	s.(BatchReader).GetMany(keys, vals, oks)
+	for i, k := range keys {
+		wv, wok := s.Get(k)
+		if oks[i] != wok || string(vals[i]) != string(wv) {
+			t.Fatalf("key %q: batched (%q,%v) vs scalar (%q,%v)", k, vals[i], oks[i], wv, wok)
+		}
+	}
+	// The batch counts as one read per key in the store stats.
+	reads, _ := s.Stats()
+	if reads != int64(4+len(keys)) {
+		t.Fatalf("reads=%d, want %d", reads, 4+len(keys))
+	}
+}
+
+func TestCachedStoreGetManyHitMissMix(t *testing.T) {
+	inner := NewStore()
+	inner.Put([]byte("hot"), []byte("H"))
+	inner.Put([]byte("cold"), []byte("C"))
+	c := NewCachedStore(inner, 8, 0)
+	// Warm one positive and one negative entry.
+	if _, ok := c.Get([]byte("hot")); !ok {
+		t.Fatal("warm read failed")
+	}
+	if _, ok := c.Get([]byte("ghost")); ok {
+		t.Fatal("phantom key")
+	}
+	readsBefore, _ := inner.Stats()
+
+	keys := [][]byte{
+		[]byte("hot"),   // positive hit
+		[]byte("ghost"), // negative hit: absent, served without an inner read
+		[]byte("cold"),  // miss: filled from the inner store
+		[]byte("void"),  // miss: absent below too
+		[]byte("hot"),   // repeated hit
+	}
+	vals := make([][]byte, len(keys))
+	oks := make([]bool, len(keys))
+	c.GetMany(keys, vals, oks)
+	if !oks[0] || string(vals[0]) != "H" || !oks[4] || string(vals[4]) != "H" {
+		t.Fatalf("hit results: %q %v", vals, oks)
+	}
+	if oks[1] || vals[1] != nil {
+		t.Fatalf("negative entry leaked a value: %q %v", vals[1], oks[1])
+	}
+	if !oks[2] || string(vals[2]) != "C" || oks[3] {
+		t.Fatalf("miss results: %q %v", vals, oks)
+	}
+	// Only the two cold keys reached the inner store, in one batched read.
+	readsAfter, _ := inner.Stats()
+	if readsAfter-readsBefore != 2 {
+		t.Fatalf("inner reads for the batch: %d, want 2", readsAfter-readsBefore)
+	}
+	// The misses were inserted like Get would insert them: both (including
+	// the absent one, as a negative entry) now serve without inner reads.
+	if v, ok := c.Get([]byte("cold")); !ok || string(v) != "C" {
+		t.Fatalf("miss not cached: %q %v", v, ok)
+	}
+	if _, ok := c.Get([]byte("void")); ok {
+		t.Fatal("absent key resurrected")
+	}
+	if r, _ := inner.Stats(); r != readsAfter {
+		t.Fatalf("post-batch scalar reads went to the inner store (%d -> %d)", readsAfter, r)
+	}
+}
+
+// TestCachedStoreGetManySeesUncommittedWrites drives the batched read over a
+// write-behind dirty batch: buffered Puts, a buffered deferred-encode
+// PutObject, and a buffered tombstone must all be visible before any flush
+// reaches the inner store.
+func TestCachedStoreGetManySeesUncommittedWrites(t *testing.T) {
+	inner := NewStore()
+	inner.Put([]byte("doomed"), []byte("old"))
+	inner.Put([]byte("stale"), []byte("old"))
+	c := NewCachedStore(inner, 16, 100) // large batch: nothing auto-flushes
+	c.Put([]byte("plain"), []byte("new"))
+	c.Put([]byte("stale"), []byte("new")) // overwrite shadows the inner value
+	enc := func(obj any) ([]byte, error) { return []byte(obj.(string)), nil }
+	c.PutObject([]byte("obj"), "decoded", ObjectEncoder(enc))
+	c.Delete([]byte("doomed"))
+
+	_, writesBefore := inner.Stats()
+	if writesBefore != 2 {
+		t.Fatalf("writes flushed early: %d", writesBefore)
+	}
+	keys := [][]byte{[]byte("plain"), []byte("stale"), []byte("obj"), []byte("doomed")}
+	vals := make([][]byte, len(keys))
+	oks := make([]bool, len(keys))
+	c.GetMany(keys, vals, oks)
+	if !oks[0] || string(vals[0]) != "new" {
+		t.Fatalf("buffered put invisible: %q %v", vals[0], oks[0])
+	}
+	if !oks[1] || string(vals[1]) != "new" {
+		t.Fatalf("buffered overwrite lost to inner value: %q %v", vals[1], oks[1])
+	}
+	// The deferred-encode entry must be materialized on read, exactly once.
+	if !oks[2] || string(vals[2]) != "decoded" {
+		t.Fatalf("deferred-encode object not materialized: %q %v", vals[2], oks[2])
+	}
+	if oks[3] {
+		t.Fatalf("buffered tombstone invisible: read %q", vals[3])
+	}
+	// Reads never forced the dirty batch through.
+	if _, writes := inner.Stats(); writes != writesBefore {
+		t.Fatalf("batched read flushed writes (%d -> %d)", writesBefore, writes)
+	}
+}
+
+// TestCachedStoreGetManyEvictionMidBatch reads more distinct cold keys than
+// the cache holds: inserting each miss evicts an earlier one mid-batch, and
+// every already-filled result slot must survive the unlinking.
+func TestCachedStoreGetManyEvictionMidBatch(t *testing.T) {
+	inner := NewStore()
+	const n = 6
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("k%d", i))
+		inner.Put(keys[i], []byte(fmt.Sprintf("v%d", i)))
+	}
+	c := NewCachedStore(inner, 2, 0) // capacity far below the batch's key count
+	vals := make([][]byte, n)
+	oks := make([]bool, n)
+	c.GetMany(keys, vals, oks)
+	for i := range keys {
+		if !oks[i] || string(vals[i]) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("slot %d corrupted by mid-batch eviction: %q %v", i, vals[i], oks[i])
+		}
+	}
+	// The survivors still answer correctly after the churn.
+	for i := range keys {
+		if v, ok := c.Get(keys[i]); !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d after eviction churn: %q %v", i, v, ok)
+		}
+	}
+}
+
+func TestCachedStoreGetObjectManyResidentOnly(t *testing.T) {
+	inner := NewStore()
+	inner.Put([]byte("bytesOnly"), []byte("raw"))
+	c := NewCachedStore(inner, 8, 100)
+	enc := func(obj any) ([]byte, error) { return []byte(obj.(string)), nil }
+	c.PutObject([]byte("a"), "objA", ObjectEncoder(enc))
+	c.Get([]byte("bytesOnly")) // resident, but bytes-only: no decoded object
+	c.CacheObject([]byte("bytesOnly"), "decodedB")
+
+	keys := [][]byte{[]byte("a"), []byte("bytesOnly"), []byte("coldKey")}
+	objs := make([]any, len(keys))
+	oks := make([]bool, len(keys))
+	c.GetObjectMany(keys, objs, oks)
+	if !oks[0] || objs[0] != "objA" {
+		t.Fatalf("dirty object not served: %v %v", objs[0], oks[0])
+	}
+	if !oks[1] || objs[1] != "decodedB" {
+		t.Fatalf("memoized object not served: %v %v", objs[1], oks[1])
+	}
+	if oks[2] || objs[2] != nil {
+		t.Fatalf("non-resident key fabricated an object: %v %v", objs[2], oks[2])
+	}
+	// GetObjectMany never touches the inner store: misses are the caller's.
+	if reads, _ := inner.Stats(); reads != 1 {
+		t.Fatalf("inner reads = %d, want 1 (the warming Get only)", reads)
+	}
+}

@@ -30,6 +30,10 @@ type ObjectCache interface {
 	// deferred to flush/eviction via enc. The caller must not mutate obj
 	// afterwards without calling PutObject again.
 	PutObject(key []byte, obj any, enc ObjectEncoder)
+	// GetObjectMany is the batched form of GetObject: it fills objs[i],
+	// oks[i] for each keys[i], leaving misses for the caller to resolve
+	// via GetMany plus its decoder.
+	GetObjectMany(keys [][]byte, objs []any, oks []bool)
 	// CacheObject memoizes the decoded form of the value just read with Get,
 	// without dirtying the entry. It is a no-op if key is not resident.
 	CacheObject(key []byte, obj any)
@@ -75,6 +79,13 @@ type CachedStore struct {
 	dirtyList  []*cacheEntry // flush order = first-dirtied order
 	dirtyCount int
 	batchCap   int
+
+	// GetMany scratch, reused across calls so batched reads stay
+	// allocation-free once warm.
+	missKeys [][]byte
+	missIdx  []int
+	missVals [][]byte
+	missOks  []bool
 
 	// lenDirty notes Len()/Range() must write the batch through before
 	// asking the inner store.

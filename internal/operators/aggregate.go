@@ -41,6 +41,29 @@ type StreamAggregateOp struct {
 	obj       serde.ObjectSerde
 	watermark int64
 	sources   sourceKeys
+
+	// Block-path scratch (block_stateful.go): the output block, the gather
+	// row, per-row group key values/bytes/timestamps, the per-block state
+	// map, and the batched-read slices.
+	outBlock   TupleBlock
+	rowScratch []any
+	keyScratch []any
+	blkKb      [][]byte
+	blkTs      []int64
+	blkKeyVals []any
+	blkWk      []byte
+	blkStates  map[string]*aggBlockState
+	blkKeys    [][]byte
+	blkVals    [][]byte
+	blkOks     []bool
+}
+
+// aggBlockState is one group's (or one (window, group)'s) state while a
+// block is in flight: loaded once per block, written back once when dirty.
+type aggBlockState struct {
+	set     *AccumSet
+	offsets offsetVector
+	dirty   bool
 }
 
 // NewStreamAggregateOp builds the operator from the bound query pieces.
@@ -265,30 +288,38 @@ func (o *StreamAggregateOp) decodeEntry(e kv.Entry) ([]any, *AccumSet, error) {
 // loadSet returns the accumulator set plus the per-source offset vector of
 // messages already folded in.
 func (o *StreamAggregateOp) loadSet(storeKey []byte) (*AccumSet, offsetVector, error) {
+	v, ok := o.store.Get(storeKey)
+	return o.decodeSet(v, ok)
+}
+
+// decodeSet builds the accumulator set and offset vector from stored state
+// bytes; ok=false yields a fresh empty set. Shared by the scalar load path
+// and the block path's batched miss fill.
+func (o *StreamAggregateOp) decodeSet(v []byte, ok bool) (*AccumSet, offsetVector, error) {
 	set, err := NewAccumSet(o.aggs)
 	if err != nil {
 		return nil, nil, err
 	}
-	if v, ok := o.store.Get(storeKey); ok {
-		snap, err := o.obj.Decode(v)
-		if err != nil {
-			return nil, nil, err
-		}
-		row := snap.([]any)
-		if len(row) != 2 {
-			return nil, nil, fmt.Errorf("operators: aggregate state has %d fields", len(row))
-		}
-		snaps, ok := row[1].([]any)
-		if !ok {
-			return nil, nil, fmt.Errorf("operators: aggregate snapshots are %T", row[1])
-		}
-		if err := set.RestoreInto(snaps); err != nil {
-			return nil, nil, err
-		}
-		vec, _ := row[0].([]any)
-		return set, offsetVector(vec), nil
+	if !ok {
+		return set, nil, nil
 	}
-	return set, nil, nil
+	snap, err := o.obj.Decode(v)
+	if err != nil {
+		return nil, nil, err
+	}
+	row := snap.([]any)
+	if len(row) != 2 {
+		return nil, nil, fmt.Errorf("operators: aggregate state has %d fields", len(row))
+	}
+	snaps, ok := row[1].([]any)
+	if !ok {
+		return nil, nil, fmt.Errorf("operators: aggregate snapshots are %T", row[1])
+	}
+	if err := set.RestoreInto(snaps); err != nil {
+		return nil, nil, err
+	}
+	vec, _ := row[0].([]any)
+	return set, offsetVector(vec), nil
 }
 
 func (o *StreamAggregateOp) saveSet(storeKey []byte, set *AccumSet, offsets offsetVector) error {

@@ -103,6 +103,52 @@ func (b *TupleBlock) gather(r int, row []any) []any {
 	return row
 }
 
+// resetOut prepares an operator-owned output block for row-appending
+// assembly: arity columns emptied, per-row vectors emptied, source location
+// and trace log carried over from src. Stateful operators produce a
+// variable number of output rows per block (joins drop non-matches, window
+// emission depends on watermarks), so their output blocks grow by appendRow
+// instead of being pre-sized.
+func (b *TupleBlock) resetOut(src *TupleBlock, arity int) {
+	b.Stream = src.Stream
+	b.Partition = src.Partition
+	for len(b.Cols) < arity {
+		b.Cols = append(b.Cols, nil)
+	}
+	b.Cols = b.Cols[:arity]
+	for c := range b.Cols {
+		b.Cols[c] = b.Cols[c][:0]
+	}
+	b.Ts = b.Ts[:0]
+	b.Keys = b.Keys[:0]
+	b.Offsets = b.Offsets[:0]
+	b.Raw = b.Raw[:0]
+	b.Sel = b.Sel[:0]
+	b.Trace = src.Trace
+}
+
+// appendRow adds one assembled row (len(row) must equal the block's arity).
+// Values are copied element-wise, so callers may reuse row as scratch; key
+// is retained.
+//
+//samzasql:hotpath
+func (b *TupleBlock) appendRow(row []any, ts int64, key []byte, offset int64) {
+	for c := range b.Cols {
+		b.Cols[c] = append(b.Cols[c], row[c])
+	}
+	b.Ts = append(b.Ts, ts)
+	b.Keys = append(b.Keys, key)
+	b.Offsets = append(b.Offsets, offset)
+}
+
+// finishOut completes assembly: N covers the appended rows and all are
+// selected. Raw stays empty — no operator downstream of a stateful stage
+// reads raw source encodings.
+func (b *TupleBlock) finishOut() {
+	b.N = len(b.Ts)
+	b.SelAll()
+}
+
 // BlockEmit passes a block to the next operator stage.
 type BlockEmit func(b *TupleBlock) error
 

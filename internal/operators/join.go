@@ -44,6 +44,19 @@ type StreamRelationJoinOp struct {
 	// cached row when a relation update defers its serialization.
 	cache  kv.ObjectCache
 	encRow kv.ObjectEncoder
+
+	// Block-path scratch (block_stateful.go): the output block, the gather
+	// and combined-row scratch, per-row relation keys, the per-block
+	// resolved-relation map, and the batched-read slices.
+	outBlock   TupleBlock
+	rowScratch []any
+	cmbScratch []any
+	blkRks     [][]byte
+	blkRel     map[string][]any
+	blkKeys    [][]byte
+	blkVals    [][]byte
+	blkObjs    []any
+	blkOks     []bool
 }
 
 // NewStreamRelationJoinOp builds the operator. info's LeftKey/RightKey are
@@ -95,7 +108,13 @@ func (o *StreamRelationJoinOp) Process(side int, t *Tuple, emit Emit) error {
 
 // processRelation caches the latest relation row under its join key.
 func (o *StreamRelationJoinOp) processRelation(t *Tuple) error {
-	combined := o.combine(nil, t.Row)
+	return o.processRelationRow(t.Row)
+}
+
+// processRelationRow is the row-level relation update, shared by the scalar
+// and block paths.
+func (o *StreamRelationJoinOp) processRelationRow(row []any) error {
+	combined := o.combine(nil, row)
 	kval, err := o.relKey(combined)
 	if err != nil {
 		return fmt.Errorf("operators: relation join key: %w", err)
@@ -108,13 +127,14 @@ func (o *StreamRelationJoinOp) processRelation(t *Tuple) error {
 	if o.cache != nil {
 		// Keep the decoded row resident; serialization defers to commit
 		// flush, so a relation key updated many times per interval encodes
-		// (and reaches the changelog) once.
-		o.cache.PutObject(rk, t.Row, o.encRow)
+		// (and reaches the changelog) once. The cache retains row, so the
+		// caller must hand over an owned slice, never reused scratch.
+		o.cache.PutObject(rk, row, o.encRow)
 		return nil
 	}
 	// The paper's prototype stores the row via a generic object serde
 	// (Kryo there, the tagged object serde here).
-	val, err := o.store.obj.Encode(t.Row)
+	val, err := o.store.obj.Encode(row)
 	if err != nil {
 		return err
 	}
@@ -207,6 +227,16 @@ type StreamStreamJoinOp struct {
 
 	store     *storeView
 	watermark [2]int64
+
+	// Block-path scratch (block_stateful.go). blkSink is the output-block
+	// append bound once in Open (a per-block closure would escape in the hot
+	// path); blkTs/blkKey/blkOff carry the current row's attributes into it.
+	outBlock   TupleBlock
+	rowScratch []any
+	blkSink    func(full []any) error
+	blkTs      int64
+	blkOff     int64
+	blkKey     []byte
 }
 
 // NewStreamStreamJoinOp builds the operator.
@@ -234,20 +264,38 @@ func (o *StreamStreamJoinOp) Open(ctx *OpContext) error {
 	if c, ok := o.store.raw.(kv.ObjectCache); ok {
 		o.store.raw = c.Uncached()
 	}
+	o.blkSink = func(full []any) error {
+		o.outBlock.appendRow(full, o.blkTs, o.blkKey, o.blkOff)
+		return nil
+	}
 	return nil
 }
 
 // Process implements Operator: side 0 = left stream, side 1 = right stream.
 func (o *StreamStreamJoinOp) Process(side int, t *Tuple, emit Emit) error {
+	return o.processOne(side, t.Row, t.Ts, t.Offset, func(full []any) error {
+		return emit(&Tuple{
+			Row: full, Ts: t.Ts, Key: t.Key,
+			Stream: t.Stream, Partition: t.Partition, Offset: t.Offset,
+		})
+	})
+}
+
+// processOne is the row-level join step shared by the scalar and block
+// paths: store the tuple on its own side, probe the opposite side's window,
+// hand every match (a freshly combined row the sink may retain) to sink,
+// then purge. State access stays range-based per tuple — write-once windowed
+// side state cannot use the point cache or the batched point reads.
+func (o *StreamStreamJoinOp) processOne(side int, row []any, ts, offset int64, sink func(full []any) error) error {
 	if side != LeftSide && side != RightSide {
 		return fmt.Errorf("operators: bad join side %d", side)
 	}
 	// Compute this side's join key over a half-filled combined row.
 	var combined []any
 	if side == LeftSide {
-		combined = o.combineRows(t.Row, nil)
+		combined = o.combineRows(row, nil)
 	} else {
-		combined = o.combineRows(nil, t.Row)
+		combined = o.combineRows(nil, row)
 	}
 	keyEval := o.leftKey
 	if side == RightSide {
@@ -263,8 +311,8 @@ func (o *StreamStreamJoinOp) Process(side int, t *Tuple, emit Emit) error {
 	}
 
 	// Store this tuple on its own side.
-	myKey := o.sideKey(byte(side), pk, t.Ts, t.Offset)
-	val, err := o.store.obj.Encode(t.Row)
+	myKey := o.sideKey(byte(side), pk, ts, offset)
+	val, err := o.store.obj.Encode(row)
 	if err != nil {
 		return err
 	}
@@ -273,12 +321,12 @@ func (o *StreamStreamJoinOp) Process(side int, t *Tuple, emit Emit) error {
 	// Probe the other side within the time window.
 	other := 1 - side
 	w := o.info.WindowMillis
-	loTs := t.Ts - w
+	loTs := ts - w
 	if loTs < 0 {
 		loTs = 0 // negative would wrap in the unsigned key encoding
 	}
 	lo := o.sideKey(byte(other), pk, loTs, 0)
-	hi := o.sideKey(byte(other), pk, t.Ts+w+1, 0)
+	hi := o.sideKey(byte(other), pk, ts+w+1, 0)
 	for _, e := range o.store.raw.Range(lo, hi, 0) {
 		otherRowAny, err := o.store.obj.Decode(e.Value)
 		if err != nil {
@@ -287,20 +335,16 @@ func (o *StreamStreamJoinOp) Process(side int, t *Tuple, emit Emit) error {
 		otherRow := otherRowAny.([]any)
 		var full []any
 		if side == LeftSide {
-			full = o.combineRows(t.Row, otherRow)
+			full = o.combineRows(row, otherRow)
 		} else {
-			full = o.combineRows(otherRow, t.Row)
+			full = o.combineRows(otherRow, row)
 		}
 		v, err := o.residual(full)
 		if err != nil {
 			return fmt.Errorf("operators: join condition: %w", err)
 		}
 		if b, ok := v.(bool); ok && b {
-			ts := t.Ts
-			if err := emit(&Tuple{
-				Row: full, Ts: ts, Key: t.Key,
-				Stream: t.Stream, Partition: t.Partition, Offset: t.Offset,
-			}); err != nil {
+			if err := sink(full); err != nil {
 				return err
 			}
 		}
@@ -308,7 +352,7 @@ func (o *StreamStreamJoinOp) Process(side int, t *Tuple, emit Emit) error {
 
 	// Purge this side's tuples that can no longer match: anything older
 	// than the opposite watermark minus the window.
-	o.watermark[side] = maxI64(o.watermark[side], t.Ts)
+	o.watermark[side] = maxI64(o.watermark[side], ts)
 	cutoff := o.watermark[other] - w
 	if cutoff > 0 {
 		start := o.sidePrefix(byte(side), pk)

@@ -47,13 +47,20 @@ type sourceKeys struct {
 }
 
 func (s *sourceKeys) key(t *Tuple) string {
+	return s.keyFor(t.Stream, t.Partition)
+}
+
+// keyFor is the block-path variant: a polled block carries one
+// (stream, partition) for all its rows, so the key is computed once per
+// block instead of per tuple.
+func (s *sourceKeys) keyFor(stream string, partition int32) string {
 	if s.cache == nil {
 		s.cache = map[kafka.TopicPartition]string{}
 	}
-	tp := kafka.TopicPartition{Topic: t.Stream, Partition: t.Partition}
+	tp := kafka.TopicPartition{Topic: stream, Partition: partition}
 	k, ok := s.cache[tp]
 	if !ok {
-		k = fmt.Sprintf("%s:%d", t.Stream, t.Partition)
+		k = fmt.Sprintf("%s:%d", stream, partition)
 		s.cache[tp] = k
 	}
 	return k

@@ -49,6 +49,20 @@ type SlidingWindowOp struct {
 	// the state key, kbuf the message key, pbuf/ebuf the purge-scan bounds,
 	// vbuf the encoded contribution.
 	sbuf, kbuf, pbuf, ebuf, vbuf []byte
+
+	// Block-path scratch (block_stateful.go): the output block, the gather
+	// row, per-row group keys, per-row replay flags, the per-block state map
+	// keyed by state-key string, and the batched-read slices.
+	outBlock   TupleBlock
+	rowScratch []any
+	blkPks     [][]byte
+	blkReplay  []bool
+	blkStates  map[string]*windowState
+	blkKeys    [][]byte
+	blkMiss    [][]byte
+	blkVals    [][]byte
+	blkObjs    []any
+	blkOks     []bool
 }
 
 // windowState is one window partition's decoded state: the live accumulator,
@@ -59,6 +73,10 @@ type windowState struct {
 	acc     Accumulator
 	count   int64
 	offsets offsetVector
+	// dirty marks block-path modification; set while a block is in flight so
+	// the state is written back once per key per block, cleared on save. Not
+	// part of the encoded form.
+	dirty bool
 }
 
 type analyticState struct {
@@ -236,13 +254,33 @@ func (o *SlidingWindowOp) processCall(c *analyticState, t *Tuple) (any, bool, er
 	if ws.offsets.seen(src, t.Offset) {
 		return ws.acc.Value(), true, nil
 	}
+	if err := o.foldTuple(c, ws, pk, ts, arg, t.Offset); err != nil {
+		return nil, false, err
+	}
+	// 6. Persist state.
+	ws.offsets = ws.offsets.update(src, t.Offset)
+	if err := o.saveCallState(sk, ws); err != nil {
+		return nil, false, err
+	}
+	return ws.acc.Value(), false, nil
+}
+
+// foldTuple applies one tuple's contribution to a loaded window state:
+// Algorithm 1 steps 2–5 (save contribution, purge expired, fold, rebuild
+// non-invertible aggregates). Replay detection and state persistence stay
+// with the caller — the scalar path saves per tuple, the block path once
+// per key per block.
+//
+//samzasql:hotpath
+func (o *SlidingWindowOp) foldTuple(c *analyticState, ws *windowState, pk []byte, ts int64, arg any, offset int64) error {
 	ws.count++
 
 	// 2. Save the message's window contribution in the message store.
-	o.kbuf = appendMsgKey(o.kbuf[:0], c.idx, pk, ts, t.Offset)
+	var err error
+	o.kbuf = appendMsgKey(o.kbuf[:0], c.idx, pk, ts, offset)
 	o.vbuf, err = o.encodeContribution(o.vbuf[:0], ts, arg)
 	if err != nil {
-		return nil, false, err
+		return err
 	}
 	o.msgStore.Put(o.kbuf, o.vbuf)
 
@@ -258,7 +296,7 @@ func (o *SlidingWindowOp) processCall(c *analyticState, t *Tuple) (any, bool, er
 				entries := o.msgStore.Range(prefix, prefixEnd(prefix), int(ws.count-keep))
 				for _, e := range entries {
 					if err := o.dropEntry(ws.acc, e, &rebuild); err != nil {
-						return nil, false, err
+						return err
 					}
 					ws.count--
 				}
@@ -271,7 +309,7 @@ func (o *SlidingWindowOp) processCall(c *analyticState, t *Tuple) (any, bool, er
 			entries := o.msgStore.Range(prefix, o.ebuf, 0)
 			for _, e := range entries {
 				if err := o.dropEntry(ws.acc, e, &rebuild); err != nil {
-					return nil, false, err
+					return err
 				}
 				ws.count--
 			}
@@ -279,32 +317,27 @@ func (o *SlidingWindowOp) processCall(c *analyticState, t *Tuple) (any, bool, er
 	}
 	// 4. Fold in the current tuple.
 	if err := ws.acc.Add(arg); err != nil {
-		return nil, false, err
+		return err
 	}
 	// 5. Non-invertible aggregates (MIN/MAX, non-invertible UDAFs) rebuild
 	// from the retained window after a purge.
 	if rebuild && !ws.acc.Invertible() {
 		fresh, err := NewAccumulatorFor(c.spec.Fn)
 		if err != nil {
-			return nil, false, err
+			return err
 		}
 		for _, e := range o.msgStore.Range(prefix, prefixEnd(prefix), 0) {
 			val, err := o.decodeContribution(e.Value)
 			if err != nil {
-				return nil, false, err
+				return err
 			}
 			if err := fresh.Add(val); err != nil {
-				return nil, false, err
+				return err
 			}
 		}
 		ws.acc = fresh
 	}
-	// 6. Persist state.
-	ws.offsets = ws.offsets.update(src, t.Offset)
-	if err := o.saveCallState(sk, ws); err != nil {
-		return nil, false, err
-	}
-	return ws.acc.Value(), false, nil
+	return nil
 }
 
 // dropEntry removes one expired message contribution.
@@ -407,12 +440,27 @@ func (o *SlidingWindowOp) loadCallState(c *analyticState, sk []byte) (*windowSta
 			return obj.(*windowState), nil
 		}
 	}
+	v, ok := o.store.Get(sk)
+	ws, err := o.decodeCallState(c, v, ok)
+	if err != nil {
+		return nil, err
+	}
+	if o.cache != nil {
+		o.cache.CacheObject(sk, ws)
+	}
+	return ws, nil
+}
+
+// decodeCallState builds a windowState from stored bytes; ok=false yields a
+// fresh empty state. Shared by the scalar load path and the block path's
+// batched miss fill.
+func (o *SlidingWindowOp) decodeCallState(c *analyticState, v []byte, ok bool) (*windowState, error) {
 	acc, err := NewAccumulatorFor(c.spec.Fn)
 	if err != nil {
 		return nil, err
 	}
 	ws := &windowState{acc: acc}
-	if v, ok := o.store.Get(sk); ok {
+	if ok {
 		snap, err := o.obj.Decode(v)
 		if err != nil {
 			return nil, err
@@ -431,9 +479,6 @@ func (o *SlidingWindowOp) loadCallState(c *analyticState, sk []byte) (*windowSta
 		ws.count, _ = row[1].(int64)
 		vec, _ := row[2].([]any)
 		ws.offsets = offsetVector(vec)
-	}
-	if o.cache != nil {
-		o.cache.CacheObject(sk, ws)
 	}
 	return ws, nil
 }

@@ -8,53 +8,28 @@ import (
 	"samzasql/internal/trace"
 )
 
-// This file is the vectorized side of the program: a per-block pipeline
-// compiled next to the per-tuple router. RouteBatch drives one polled batch
-// (always from a single topic-partition) through it — decode once per
-// block, each operator's ProcessBlock once per block, the outputs flushed
-// in one batched send. Plans the block chain cannot express (aggregates,
-// joins, sliding windows, repartitioned scans) fall back to the per-tuple
-// path, message by message, with the same trace bracketing the scalar
-// container loop would have done.
+// This file is the vectorized side of the program: per-topic block
+// pipelines compiled next to the per-tuple router by threading a BlockEmit
+// through build. RouteBatch drives one polled batch (always from a single
+// topic-partition) through its topic's pipeline — decode once per block,
+// each operator's ProcessBlock once per block, the outputs flushed in one
+// batched send. Stateful stages (aggregate, sliding window, joins) cluster
+// each block by key and batch their state reads (block_stateful.go), so
+// every compiled plan's topics run vectorized; the per-tuple fallback only
+// covers topics without a compiled entry (the fused fast path handles its
+// own batches).
 
-// buildBlockChain compiles the block pipeline when the plan is linear:
-// filter/project stages over one scan into the insert sink. Called at the
-// end of CompileWithOptions; leaves blockEntry nil when any stage has no
-// vectorized path.
-func (p *Program) buildBlockChain(ins *operators.Instrumented) {
-	if p.blockNotLinear || p.blockScan == nil || p.aggregate != nil || len(p.Repartitions) > 0 {
-		return
-	}
-	if _, ok := ins.BlockOp(); !ok {
-		return
-	}
-	for _, inst := range p.blockStages {
-		if _, ok := inst.BlockOp(); !ok {
-			return
-		}
-	}
-	// Fold the chain from the sink upward. blockStages is in top-down
-	// compile order (project collected before the filter beneath it), so
-	// each iteration wraps the entry built so far as its downstream,
-	// leaving the bottom-most stage as the final entry point.
-	insEmit := ins.WrapBlockEmit(func(*operators.TupleBlock) error { return nil })
-	entry := func(b *operators.TupleBlock) error {
-		return ins.ProcessBlock(0, b, insEmit)
-	}
-	for _, inst := range p.blockStages {
-		inst := inst
-		downstream := inst.WrapBlockEmit(entry)
-		entry = func(b *operators.TupleBlock) error {
-			return inst.ProcessBlock(0, b, downstream)
-		}
-	}
-	p.blockEntry = entry
+// blockInput is one source topic's vectorized pipeline: the scan that
+// decodes its blocks and the compiled per-block chain above it.
+type blockInput struct {
+	scan  *operators.ScanOp
+	entry operators.BlockEmit
 }
 
 // Vectorized reports whether the program compiled a per-block pipeline
-// (fused kernel or block chain); plans without one process batches through
-// the per-tuple router.
-func (p *Program) Vectorized() bool { return p.fast != nil || p.blockEntry != nil }
+// (fused kernel or block pipelines); plans without one process batches
+// through the per-tuple router.
+func (p *Program) Vectorized() bool { return p.fast != nil || len(p.blockInputs) > 0 }
 
 // RouteBatch drives one polled batch through the program — the vectorized
 // counterpart of RouteMessage. The envelopes come from a single
@@ -74,7 +49,8 @@ func (p *Program) RouteBatch(envs []samza.IncomingMessageEnvelope, act *trace.Ac
 		}
 		return p.fast.handleBlock(envs, act, pollNs)
 	}
-	if p.blockEntry == nil || topic != p.blockScan.Stream {
+	bi := p.blockInputs[topic]
+	if bi == nil {
 		// Per-tuple fallback: route each message with the trace brackets
 		// the scalar container loop would have applied.
 		for i := range envs {
@@ -110,10 +86,10 @@ func (p *Program) RouteBatch(envs []samza.IncomingMessageEnvelope, act *trace.Ac
 		b.Trace = &p.btrace
 		startNs = time.Now().UnixNano()
 	}
-	if err := p.blockScan.DecodeBlock(b); err != nil {
+	if err := bi.scan.DecodeBlock(b); err != nil {
 		return err
 	}
-	if err := p.blockEntry(b); err != nil {
+	if err := bi.entry(b); err != nil {
 		return err
 	}
 	if sampled > 0 {

@@ -61,16 +61,14 @@ type Program struct {
 	// instrumented stage gets a unique metric name.
 	stageSeq map[string]int
 
-	// Vectorized block chain (see block.go): blockEntry is the compiled
-	// per-block pipeline over blockScan's decoded blocks, non-nil only for
-	// linear filter/project plans over a single scan. blockStages collects
-	// the instrumented linear stages in compile (top-down) order during
-	// build; blockNotLinear marks plans with aggregate/join/analytic/
-	// repartition stages, which stay on the per-tuple router.
-	blockEntry     operators.BlockEmit
-	blockScan      *operators.ScanOp
-	blockStages    []*operators.Instrumented
-	blockNotLinear bool
+	// Vectorized block pipelines (see block.go): one entry per input topic,
+	// compiled alongside the scalar router by threading a BlockEmit through
+	// build. Every operator kind has a block path — filter/project refine or
+	// compact selections, the stateful stages (aggregate, sliding window,
+	// joins) cluster each block by key and batch their state reads — so
+	// every topic a plan consumes gets an entry and RouteBatch never falls
+	// back to per-tuple routing for compiled plans.
+	blockInputs map[string]*blockInput
 	// blockArena and btrace are the task-owned reusable block and stage-span
 	// log RouteBatch drives the chain with.
 	blockArena operators.TupleBlock
@@ -181,7 +179,13 @@ func CompileWithOptions(root plan.Node, defaultOutput string, opts Options) (*Pr
 	sink := func(t *operators.Tuple) error {
 		return insInst.Process(0, t, insEmit)
 	}
-	if err := prog.build(body, sink); err != nil {
+	// The block pipeline compiles next to the scalar chain: the same
+	// instrumented sink, fed whole blocks.
+	insBlockEmit := insInst.WrapBlockEmit(func(*operators.TupleBlock) error { return nil })
+	blockSink := func(b *operators.TupleBlock) error {
+		return insInst.ProcessBlock(0, b, insBlockEmit)
+	}
+	if err := prog.build(body, sink, blockSink); err != nil {
 		return nil, err
 	}
 	// Aggregate outputs partition by group key (tuples carry it); other
@@ -189,27 +193,40 @@ func CompileWithOptions(root plan.Node, defaultOutput string, opts Options) (*Pr
 	if prog.aggregate != nil {
 		prog.insert.KeyByTupleKey = true
 	}
-	prog.buildBlockChain(insInst)
 	return prog, nil
 }
 
+// blockStage wraps one instrumented operator as a block pipeline stage
+// feeding blockDown on the given input side. A nil blockDown (no vectorized
+// path downstream) propagates, leaving the subtree's scans on the per-tuple
+// router.
+func (p *Program) blockStage(inst *operators.Instrumented, side int, blockDown operators.BlockEmit) operators.BlockEmit {
+	if blockDown == nil {
+		return nil
+	}
+	emitTo := inst.WrapBlockEmit(blockDown)
+	return func(b *operators.TupleBlock) error {
+		return inst.ProcessBlock(side, b, emitTo)
+	}
+}
+
 // build wires the plan node's operator and recurses to its inputs.
-// downstream receives the node's output tuples.
-func (p *Program) build(n plan.Node, downstream operators.Emit) error {
+// downstream receives the node's output tuples; blockDown receives its
+// output blocks on the vectorized pipeline compiled alongside.
+func (p *Program) build(n plan.Node, downstream operators.Emit, blockDown operators.BlockEmit) error {
 	switch t := n.(type) {
 	case *plan.Scan:
-		return p.buildScan(t, downstream)
+		return p.buildScan(t, downstream, blockDown)
 	case *plan.Filter:
 		op, err := operators.NewFilterOp(t.Cond)
 		if err != nil {
 			return err
 		}
 		inst := p.instrument("filter", op)
-		p.blockStages = append(p.blockStages, inst)
 		emitTo := inst.WrapEmit(downstream)
 		return p.build(t.Input, func(tp *operators.Tuple) error {
 			return inst.Process(0, tp, emitTo)
-		})
+		}, p.blockStage(inst, 0, blockDown))
 	case *plan.Project:
 		tsIdx := -1
 		for i, c := range t.Row().Columns {
@@ -236,13 +253,11 @@ func (p *Program) build(n plan.Node, downstream operators.Emit) error {
 			op.Identity = identity
 		}
 		inst := p.instrument("project", op)
-		p.blockStages = append(p.blockStages, inst)
 		emitTo := inst.WrapEmit(downstream)
 		return p.build(t.Input, func(tp *operators.Tuple) error {
 			return inst.Process(0, tp, emitTo)
-		})
+		}, p.blockStage(inst, 0, blockDown))
 	case *plan.Aggregate:
-		p.blockNotLinear = true
 		op, err := operators.NewStreamAggregateOp(t.Keys, t.Window, t.Aggs)
 		if err != nil {
 			return err
@@ -256,9 +271,8 @@ func (p *Program) build(n plan.Node, downstream operators.Emit) error {
 		p.addStore(operators.AggStoreName)
 		return p.build(t.Input, func(tp *operators.Tuple) error {
 			return inst.Process(0, tp, emitTo)
-		})
+		}, p.blockStage(inst, 0, blockDown))
 	case *plan.Analytic:
-		p.blockNotLinear = true
 		op, err := operators.NewSlidingWindowOp(t.Calls)
 		if err != nil {
 			return err
@@ -268,9 +282,9 @@ func (p *Program) build(n plan.Node, downstream operators.Emit) error {
 		p.addStore(operators.SlidingStoreName)
 		return p.build(t.Input, func(tp *operators.Tuple) error {
 			return inst.Process(0, tp, emitTo)
-		})
+		}, p.blockStage(inst, 0, blockDown))
 	case *plan.Join:
-		return p.buildJoin(t, downstream)
+		return p.buildJoin(t, downstream, blockDown)
 	case *plan.Insert:
 		return fmt.Errorf("physical: nested INSERT is not supported")
 	default:
@@ -278,7 +292,7 @@ func (p *Program) build(n plan.Node, downstream operators.Emit) error {
 	}
 }
 
-func (p *Program) buildScan(s *plan.Scan, downstream operators.Emit) error {
+func (p *Program) buildScan(s *plan.Scan, downstream operators.Emit, blockDown operators.BlockEmit) error {
 	codec, err := catalog.AvroSchemaFor(s.Object)
 	if err != nil {
 		return err
@@ -302,11 +316,6 @@ func (p *Program) buildScan(s *plan.Scan, downstream operators.Emit) error {
 		}
 	}
 	scan := &operators.ScanOp{Codec: c, TsIdx: tsIdx, Stream: topic}
-	if s.RepartitionCol != "" || p.blockScan != nil {
-		p.blockNotLinear = true
-	} else {
-		p.blockScan = scan
-	}
 	p.Router.Register(scan)
 	for _, in := range p.Inputs {
 		if in.Topic == topic {
@@ -324,11 +333,16 @@ func (p *Program) buildScan(s *plan.Scan, downstream operators.Emit) error {
 	p.Router.AddEntry(topic, func(t *operators.Tuple) error {
 		return downstream(t)
 	})
+	if blockDown != nil {
+		if p.blockInputs == nil {
+			p.blockInputs = map[string]*blockInput{}
+		}
+		p.blockInputs[topic] = &blockInput{scan: scan, entry: blockDown}
+	}
 	return nil
 }
 
-func (p *Program) buildJoin(j *plan.Join, downstream operators.Emit) error {
-	p.blockNotLinear = true
+func (p *Program) buildJoin(j *plan.Join, downstream operators.Emit, blockDown operators.BlockEmit) error {
 	leftArity := j.Left.Row().Arity()
 	rightArity := j.Right.Row().Arity()
 
@@ -354,16 +368,18 @@ func (p *Program) buildJoin(j *plan.Join, downstream operators.Emit) error {
 		relEmit := func(t *operators.Tuple) error {
 			return inst.Process(operators.RightSide, t, emitTo)
 		}
+		streamBlock := p.blockStage(inst, operators.LeftSide, blockDown)
+		relBlock := p.blockStage(inst, operators.RightSide, blockDown)
 		if streamIsLeft {
-			if err := p.build(j.Left, streamEmit); err != nil {
+			if err := p.build(j.Left, streamEmit, streamBlock); err != nil {
 				return err
 			}
-			return p.build(j.Right, relEmit)
+			return p.build(j.Right, relEmit, relBlock)
 		}
-		if err := p.build(j.Left, relEmit); err != nil {
+		if err := p.build(j.Left, relEmit, relBlock); err != nil {
 			return err
 		}
-		return p.build(j.Right, streamEmit)
+		return p.build(j.Right, streamEmit, streamBlock)
 	default:
 		op, err := operators.NewStreamStreamJoinOp(j.Info, leftArity, rightArity)
 		if err != nil {
@@ -373,12 +389,12 @@ func (p *Program) buildJoin(j *plan.Join, downstream operators.Emit) error {
 		emitTo := inst.WrapEmit(downstream)
 		if err := p.build(j.Left, func(t *operators.Tuple) error {
 			return inst.Process(operators.LeftSide, t, emitTo)
-		}); err != nil {
+		}, p.blockStage(inst, operators.LeftSide, blockDown)); err != nil {
 			return err
 		}
 		return p.build(j.Right, func(t *operators.Tuple) error {
 			return inst.Process(operators.RightSide, t, emitTo)
-		})
+		}, p.blockStage(inst, operators.RightSide, blockDown))
 	}
 }
 
