@@ -11,11 +11,18 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (see README "Static analysis"): hot-path
-# allocations, metrics binding, lock discipline, commit-chain error drops,
-# goroutine supervision. Exits non-zero on any unsuppressed finding.
+# Project-specific static analysis (see README "Static analysis"): six
+# per-package rules (hot-path allocations, metrics binding, lock discipline,
+# commit-chain error drops, goroutine supervision, trace guards) plus four
+# whole-program interprocedural rules (lock-order, chan-leak,
+# hotpath-blocking, hotpath-escape) over the CFG/call-graph layer. Exits
+# non-zero on any unsuppressed finding; timed so a regression past the ~30s
+# budget is visible in CI logs.
 vet-custom:
-	$(GO) run ./cmd/samzasql-vet ./...
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/samzasql-vet ./... || exit $$?; \
+	end=$$(date +%s); \
+	echo "samzasql-vet: clean in $$((end-start))s"
 
 # Race-detector leg of verify. -short keeps the full-job figure sweeps out
 # (bench_test.go skips them) so the whole tree stays race-checked quickly.
@@ -31,7 +38,7 @@ ci: build
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/samzasql-vet ./...
+	$(MAKE) vet-custom
 	$(GO) test -race ./...
 
 # Messages per figure run for the JSON report. Short runs are dominated by

@@ -11,10 +11,17 @@
 //
 // Findings print as file:line:col: analyzer: message. A finding covered by a
 // //samzasql:ignore directive is suppressed (shown with -show-ignored).
-// Exit status: 0 clean, 1 findings, 2 usage or load/type-check failure.
+// With -json every finding — suppressed ones included, so consumers can
+// audit the suppression set — prints as one JSON object per line:
+//
+//	{"rule":"lock-order","pos":"internal/kv/cached.go:12:3","message":"…","suppressed":false}
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load/type-check failure. In
+// both modes only unsuppressed findings fail the run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +40,7 @@ func run() int {
 		list        = flag.Bool("list", false, "list the analyzers and exit")
 		only        = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 		showIgnored = flag.Bool("show-ignored", false, "also print findings suppressed by //samzasql:ignore")
+		jsonOut     = flag.Bool("json", false, "print one JSON object per finding (suppressed included) instead of text")
 	)
 	flag.Parse()
 
@@ -75,9 +83,10 @@ func run() int {
 
 	diags := analysis.Run(pkgs, analyzers)
 	cwd, _ := os.Getwd()
+	enc := json.NewEncoder(os.Stdout)
 	failures := 0
 	for _, d := range diags {
-		if d.Suppressed && !*showIgnored {
+		if d.Suppressed && !*showIgnored && !*jsonOut {
 			continue
 		}
 		file := d.Pos.Filename
@@ -86,11 +95,24 @@ func run() int {
 				file = rel
 			}
 		}
+		if !d.Suppressed {
+			failures++
+		}
+		if *jsonOut {
+			enc.Encode(jsonFinding{
+				Rule:       d.Analyzer,
+				Pos:        fmt.Sprintf("%s:%d:%d", file, d.Pos.Line, d.Pos.Column),
+				File:       file,
+				Line:       d.Pos.Line,
+				Col:        d.Pos.Column,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			})
+			continue
+		}
 		note := ""
 		if d.Suppressed {
 			note = " (suppressed by //samzasql:ignore)"
-		} else {
-			failures++
 		}
 		fmt.Printf("%s:%d:%d: %s: %s%s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message, note)
 	}
@@ -99,6 +121,19 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the -json line schema. Pos duplicates File/Line/Col as one
+// clickable string; both forms stay so shell pipelines and structured
+// consumers each get the shape they want.
+type jsonFinding struct {
+	Rule       string `json:"rule"`
+	Pos        string `json:"pos"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
 }
 
 // findModuleRoot walks up from the working directory to the nearest go.mod.

@@ -37,8 +37,12 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
-	// Run performs the check over pass.Pkg.
+	// Run performs the check over pass.Pkg (per-package analyzers).
 	Run func(pass *Pass)
+	// RunProgram performs the check over pass.Prog — the whole-module view
+	// with CFGs and the call graph. Exactly one of Run/RunProgram is set;
+	// RunProgram analyzers are invoked once per Run call, not per package.
+	RunProgram func(pass *Pass)
 }
 
 // Diagnostic is one finding, positioned at a file:line:col.
@@ -55,16 +59,26 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of its subject: one package (Pkg set)
+// for per-package analyzers, the whole program (Prog set) for
+// interprocedural ones.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Prog is the whole-module view (CFGs + call graph); set only for
+	// RunProgram analyzers.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
 
 // Fset returns the file set positions resolve against.
-func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+func (p *Pass) Fset() *token.FileSet {
+	if p.Pkg != nil {
+		return p.Pkg.Fset
+	}
+	return p.Prog.Fset
+}
 
 // Files returns the package's parsed syntax trees.
 func (p *Pass) Files() []*ast.File { return p.Pkg.Syntax }
@@ -79,7 +93,7 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
-		Pos:      p.Pkg.Fset.Position(pos),
+		Pos:      p.Fset().Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -89,10 +103,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // findings are included (marked) so callers can surface them with -show-ignored.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	var wholeProgram []*Analyzer
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.RunProgram != nil {
+				continue
+			}
 			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
 			a.Run(pass)
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			wholeProgram = append(wholeProgram, a)
+		}
+	}
+	if len(wholeProgram) > 0 {
+		prog := BuildProgram(pkgs)
+		for _, a := range wholeProgram {
+			pass := &Pass{Analyzer: a, Prog: prog, diags: &diags}
+			a.RunProgram(pass)
 		}
 	}
 	for i := range diags {

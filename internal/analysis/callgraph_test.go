@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixtureProgram builds the whole-program view over one fixture package.
+func loadFixtureProgram(t *testing.T, name string) *Program {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, "samzasql-vet-fixtures/"+name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildProgram([]*Package{pkg})
+}
+
+// funcNamed finds a graph node by display name.
+func funcNamed(t *testing.T, g *CallGraph, name string) *Func {
+	t.Helper()
+	for _, fn := range g.Funcs {
+		if fn.Name() == name {
+			return fn
+		}
+	}
+	var names []string
+	for _, fn := range g.Funcs {
+		names = append(names, fn.Name())
+	}
+	t.Fatalf("no function %q in graph; have: %s", name, strings.Join(names, ", "))
+	return nil
+}
+
+// calleeNames flattens all resolved callees of fn's sites.
+func calleeNames(g *CallGraph, fn *Func) []string {
+	var names []string
+	for _, site := range g.Sites[fn] {
+		for _, c := range site.Callees {
+			names = append(names, c.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestCallGraphStaticResolution(t *testing.T) {
+	prog := loadFixtureProgram(t, "callgraph")
+	g := prog.Graph
+	static := funcNamed(t, g, "callgraph.Static")
+	got := calleeNames(g, static)
+	if len(got) != 1 || got[0] != "callgraph.helper" {
+		t.Errorf("Static callees = %v, want [callgraph.helper]", got)
+	}
+	// Reverse edges: helper is called from Static and from three literals.
+	helper := funcNamed(t, g, "callgraph.helper")
+	callers := map[string]bool{}
+	for _, site := range g.CallerSites[helper] {
+		callers[site.Caller.Name()] = true
+	}
+	if !callers["callgraph.Static"] {
+		t.Errorf("helper callers = %v, want to include callgraph.Static", callers)
+	}
+}
+
+func TestCallGraphDevirtualization(t *testing.T) {
+	prog := loadFixtureProgram(t, "callgraph")
+	g := prog.Graph
+	use := funcNamed(t, g, "callgraph.UseIface")
+	got := calleeNames(g, use)
+	want := []string{"(*callgraph.DiskStore).Get", "(callgraph.MemStore).Get"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("UseIface devirtualized callees = %v, want %v", got, want)
+	}
+	for _, site := range g.Sites[use] {
+		if site.Unknown {
+			t.Error("UseIface site marked Unknown; devirtualization should have resolved it")
+		}
+	}
+}
+
+func TestCallGraphDevirtualizationBound(t *testing.T) {
+	prog := loadFixtureProgram(t, "callgraph")
+	g := prog.Graph
+	use := funcNamed(t, g, "callgraph.UseWide")
+	sites := g.Sites[use]
+	if len(sites) != 1 {
+		t.Fatalf("UseWide sites = %d, want 1", len(sites))
+	}
+	if !sites[0].Unknown {
+		t.Error("call through a >devirtLimit interface should be Unknown")
+	}
+	if len(sites[0].Callees) != 0 {
+		t.Errorf("over-wide site resolved %d callees, want 0", len(sites[0].Callees))
+	}
+}
+
+func TestCallGraphLiterals(t *testing.T) {
+	prog := loadFixtureProgram(t, "callgraph")
+	g := prog.Graph
+	lits := funcNamed(t, g, "callgraph.Literals")
+
+	var goSite, deferSite, directLit, varCall *CallSite
+	for _, site := range g.Sites[lits] {
+		switch {
+		case site.Go:
+			goSite = site
+		case site.Deferred:
+			deferSite = site
+		case len(site.Callees) == 1 && strings.Contains(site.Callees[0].Name(), "$lit"):
+			directLit = site
+		case site.Unknown:
+			varCall = site
+		}
+	}
+	if goSite == nil || len(goSite.Callees) != 1 || !strings.Contains(goSite.Callees[0].Name(), "$lit") {
+		t.Error("go literal site not resolved to its literal Func")
+	}
+	if deferSite == nil || len(deferSite.Callees) != 1 {
+		t.Error("defer literal site not resolved")
+	}
+	if directLit == nil {
+		t.Error("directly-invoked literal not resolved")
+	}
+	if varCall == nil {
+		t.Error("call through a function variable should be Unknown")
+	}
+
+	// The literals each carry their own CFG and resolve their own helper call.
+	for _, fn := range g.Funcs {
+		if fn.Parent != lits {
+			continue
+		}
+		if fn.CFG == nil {
+			t.Errorf("literal %s has no CFG", fn.Name())
+		}
+	}
+}
+
+func TestFixpointTerminatesOnCycle(t *testing.T) {
+	prog := loadFixtureProgram(t, "callgraph")
+	g := prog.Graph
+
+	// Fact: the set of function names transitively reachable. Recurse and
+	// Mutual call each other, so without a fixpoint this never settles; with
+	// one it must converge with each member containing both names.
+	type reachFact map[string]bool
+	store := g.Fixpoint(func(fn *Func, get func(*Func) Fact) Fact {
+		out := reachFact{}
+		for _, site := range g.Sites[fn] {
+			for _, callee := range site.Callees {
+				out[callee.Name()] = true
+				if cf, _ := get(callee).(reachFact); cf != nil {
+					for name := range cf {
+						out[name] = true
+					}
+				}
+			}
+		}
+		return out
+	}, func(old, new Fact) bool {
+		of, _ := old.(reachFact)
+		nf, _ := new.(reachFact)
+		if len(of) != len(nf) {
+			return false
+		}
+		for k := range nf {
+			if !of[k] {
+				return false
+			}
+		}
+		return true
+	})
+
+	rec := funcNamed(t, g, "callgraph.Recurse")
+	mut := funcNamed(t, g, "callgraph.Mutual")
+	rf, _ := store.Get(rec).(reachFact)
+	mf, _ := store.Get(mut).(reachFact)
+	if rf == nil || !rf["callgraph.Mutual"] || !rf["callgraph.Recurse"] {
+		t.Errorf("Recurse fact = %v, want both cycle members", rf)
+	}
+	if mf == nil || !mf["callgraph.Recurse"] || !mf["callgraph.Mutual"] {
+		t.Errorf("Mutual fact = %v, want both cycle members", mf)
+	}
+}

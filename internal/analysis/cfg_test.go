@@ -1,0 +1,351 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as the body of a single function and returns it.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "cfg_test.go", file, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, file)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// checkShape builds the CFG of src and compares its rendered edge list.
+func checkShape(t *testing.T, src, want string) *CFG {
+	t.Helper()
+	cfg := BuildCFG(parseBody(t, src))
+	got := strings.TrimSpace(cfg.String())
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("CFG shape mismatch for:\n%s\ngot:\n%s\nwant:\n%s", src, got, want)
+	}
+	return cfg
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	checkShape(t, `
+x := 1
+x = 2
+`, `
+0(entry)->1
+1(exit)->
+`)
+}
+
+func TestCFGIfElse(t *testing.T) {
+	checkShape(t, `
+x := 1
+if x > 0 {
+	x = 2
+} else {
+	x = 3
+}
+x = 4
+`, `
+0(entry)->3,4
+1(exit)->
+2(join)->1
+3(if.then)->2
+4(if.else)->2
+`)
+}
+
+func TestCFGIfNoElse(t *testing.T) {
+	cfg := checkShape(t, `
+x := 1
+if x > 0 {
+	x = 2
+}
+x = 3
+`, `
+0(entry)->3,2
+1(exit)->
+2(join)->1
+3(if.then)->2
+`)
+	// The condition expression is recorded in the branching block.
+	found := false
+	for _, n := range cfg.Blocks[0].Nodes {
+		if _, ok := n.(*ast.BinaryExpr); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("if condition expression not recorded in the branch block")
+	}
+}
+
+func TestCFGForBreakContinue(t *testing.T) {
+	checkShape(t, `
+x := 0
+for i := 0; i < 10; i++ {
+	if i == 3 {
+		break
+	}
+	if i == 4 {
+		continue
+	}
+	x = i
+}
+x = 9
+`, `
+0(entry)->2
+1(exit)->
+2(for.head)->5,3
+3(for.after)->1
+4(for.post)->2
+5(for.body)->7,6
+6(join)->9,8
+7(if.then)->3
+8(join)->4
+9(if.then)->4
+`)
+}
+
+func TestCFGForInfinite(t *testing.T) {
+	// No condition: the only way past the loop is the break edge.
+	checkShape(t, `
+for {
+	if done() {
+		break
+	}
+}
+x := 1
+`, `
+0(entry)->2
+1(exit)->
+2(for.head)->4
+3(for.after)->1
+4(for.body)->6,5
+5(join)->2
+6(if.then)->3
+`)
+}
+
+func TestCFGRange(t *testing.T) {
+	checkShape(t, `
+total := 0
+for _, v := range xs {
+	total += v
+}
+`, `
+0(entry)->2
+1(exit)->
+2(range.head)->3,4
+3(range.after)->1
+4(range.body)->2
+`)
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	checkShape(t, `
+a := 0
+switch x {
+case 1:
+	a = 1
+	fallthrough
+case 2:
+	a = 2
+default:
+	a = 3
+}
+`, `
+0(entry)->3,4,5
+1(exit)->
+2(switch.after)->1
+3(switch.case)->4
+4(switch.case)->2
+5(switch.case)->2
+`)
+}
+
+func TestCFGSwitchNoDefault(t *testing.T) {
+	// Without a default the switch head can fall through to after directly.
+	checkShape(t, `
+switch x {
+case 1:
+	f()
+}
+`, `
+0(entry)->3,2
+1(exit)->
+2(switch.after)->1
+3(switch.case)->2
+`)
+}
+
+func TestCFGSelect(t *testing.T) {
+	cfg := checkShape(t, `
+select {
+case v := <-ch:
+	use(v)
+case ch2 <- 1:
+default:
+	x := 0
+	_ = x
+}
+`, `
+0(entry)->3,4,5
+1(exit)->
+2(select.after)->1
+3(select.comm)->2
+4(select.comm)->2
+5(select.comm)->2
+`)
+	// Comm statements land in their clause blocks, not the select's block.
+	if len(cfg.Blocks[3].Nodes) == 0 {
+		t.Error("receive comm statement not recorded in its select.comm block")
+	}
+}
+
+func TestCFGEmptySelectBlocksForever(t *testing.T) {
+	// select{} blocks forever: the entry edges straight to exit and the
+	// after-block is unreachable (its own exit edge is a dead artifact of
+	// falling off the end).
+	cfg := checkShape(t, `
+select {}
+`, `
+0(entry)->1
+1(exit)->
+2(select.after)->1
+`)
+	if len(cfg.Blocks[2].Preds) != 0 {
+		t.Error("select.after should be unreachable after select{}")
+	}
+}
+
+func TestCFGDeferAndReturn(t *testing.T) {
+	cfg := checkShape(t, `
+defer cleanup()
+if x > 0 {
+	return
+}
+x = 1
+`, `
+0(entry)->3,2
+1(exit)->
+2(join)->1
+3(if.then)->1
+`)
+	if len(cfg.Defers) != 1 {
+		t.Errorf("Defers = %d, want 1", len(cfg.Defers))
+	}
+	if len(cfg.Returns) != 1 {
+		t.Errorf("Returns = %d, want 1", len(cfg.Returns))
+	}
+}
+
+func TestCFGPanicEdgesToExit(t *testing.T) {
+	checkShape(t, `
+if x > 0 {
+	panic("boom")
+}
+x = 1
+`, `
+0(entry)->3,2
+1(exit)->
+2(join)->1
+3(if.then)->1
+`)
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	checkShape(t, `
+outer:
+for {
+	for {
+		if x == 1 {
+			break outer
+		}
+		if x == 2 {
+			continue outer
+		}
+		x++
+	}
+}
+x = 5
+`, `
+0(entry)->2
+1(exit)->
+2(label.outer)->3
+3(for.head)->5
+4(for.after)->1
+5(for.body)->6
+6(for.head)->8
+7(for.after)->3
+8(for.body)->10,9
+9(join)->12,11
+10(if.then)->4
+11(join)->6
+12(if.then)->3
+`)
+}
+
+func TestCFGGotoBackward(t *testing.T) {
+	checkShape(t, `
+retry:
+x := try()
+if x == 0 {
+	goto retry
+}
+`, `
+0(entry)->2
+1(exit)->
+2(label.retry)->4,3
+3(join)->1
+4(if.then)->2
+`)
+}
+
+func TestCFGDeadCodeAfterReturn(t *testing.T) {
+	cfg := checkShape(t, `
+return
+x := 1
+_ = x
+`, `
+0(entry)->1
+1(exit)->
+2(dead)->1
+`)
+	// The dead block is visible (analyzers can see its nodes) but has no
+	// predecessors.
+	if len(cfg.Blocks[2].Preds) != 0 {
+		t.Error("dead code block should be unreachable")
+	}
+}
+
+func TestCFGReachableFrom(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `
+x := 1
+if x > 0 {
+	recv()
+}
+x = 2
+`))
+	// Exit is reachable from entry avoiding the then-block (the recv).
+	var thenBlk *Block
+	for _, b := range cfg.Blocks {
+		if b.Kind == "if.then" {
+			thenBlk = b
+		}
+	}
+	if thenBlk == nil {
+		t.Fatal("no if.then block")
+	}
+	if !cfg.ReachableFrom(cfg.Entry, cfg.Exit, func(b *Block) bool { return b == thenBlk }) {
+		t.Error("exit should be reachable around the then branch")
+	}
+	// But barring the join kills every route.
+	if cfg.ReachableFrom(cfg.Entry, cfg.Exit, func(b *Block) bool { return b.Kind == "join" || b.Kind == "if.then" }) {
+		t.Error("exit should not be reachable with both routes barred")
+	}
+}

@@ -1,0 +1,412 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanLeak finds channels that are created and then abandoned on some CFG
+// path — the classic Go goroutine leak: a helper goroutine parks forever on
+// a send or receive because the path the creating function actually took
+// (usually an early error return or a shutdown branch) never performs the
+// matching operation. The runtime's own history motivates the rule: tailer
+// goroutines and notify channels in the monitor and kafka layers are exactly
+// this shape, and a leaked sender per failed poll adds up in a long-lived
+// container.
+//
+// Two rules, both restricted to channels that do not escape the creating
+// function (escaping channels — returned, stored in fields, passed to other
+// functions — have lifetimes the analysis cannot see):
+//
+//   - stuck sender: an unbuffered channel is sent to from a `go` literal
+//     without a select alternative, and the creating function has a CFG path
+//     from the spawn to its exit that passes no receive from that channel.
+//   - stuck receiver: a `go` literal receives from or ranges over the
+//     channel without a select alternative, and the creating function has a
+//     CFG path from the spawn to its exit that neither closes nor sends on
+//     the channel.
+//
+// A receive/close in a defer runs on every exit path, so it discharges the
+// obligation; a select with a default or a second case (ctx.Done and
+// friends) is an alternative and exempts the operation.
+var ChanLeak = &Analyzer{
+	Name: "chan-leak",
+	Doc: "a locally-created channel must not strand its goroutine: every CFG path from a " +
+		"`go` spawn to function exit must receive from (for in-goroutine senders) or " +
+		"close/send on (for in-goroutine receivers) the channel, unless the operation " +
+		"has a select alternative or the channel is buffered",
+	RunProgram: runChanLeak,
+}
+
+// chanOpKind classifies one use of a tracked channel.
+type chanOpKind int
+
+const (
+	chanSend chanOpKind = iota
+	chanRecv
+	chanClose
+)
+
+// chanOp is one send/recv/close of a tracked channel.
+type chanOp struct {
+	kind chanOpKind
+	pos  token.Pos
+	// node is the statement or expression performing the operation.
+	node ast.Node
+	// goStmt is the enclosing `go` statement when the op runs on a spawned
+	// goroutine (nil when it runs on the creating function's own stack).
+	goStmt *ast.GoStmt
+	// deferred marks ops inside a defer (they run at function exit).
+	deferred bool
+	// guarded marks ops that are a select comm with an alternative (another
+	// case or a default), so they cannot block alone.
+	guarded bool
+}
+
+// chanTrack accumulates everything known about one created channel.
+type chanTrack struct {
+	obj      types.Object
+	makePos  token.Pos
+	buffered bool
+	escaped  bool
+	ops      []chanOp
+}
+
+func runChanLeak(pass *Pass) {
+	for _, fn := range pass.Prog.Graph.Funcs {
+		checkFuncChannels(pass, fn)
+	}
+}
+
+// checkFuncChannels analyzes the channels created directly in fn's own body
+// (channels created in nested literals are analyzed when those literals are
+// visited as their own Func).
+func checkFuncChannels(pass *Pass, fn *Func) {
+	if fn.CFG == nil {
+		return
+	}
+	info := fn.Pkg.Info
+
+	// Creations: ch := make(chan T[, n]) with a plain local on the left,
+	// found shallowly in fn's own CFG nodes.
+	tracks := map[types.Object]*chanTrack{}
+	walkLockNodes(fn, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		for i, rhs := range as.Rhs {
+			obj, buffered, ok := chanMake(info, as, i, rhs)
+			if !ok {
+				continue
+			}
+			if _, dup := tracks[obj]; dup {
+				// Re-made in a loop; the per-path story is ambiguous, skip.
+				tracks[obj].escaped = true
+				continue
+			}
+			tracks[obj] = &chanTrack{obj: obj, makePos: rhs.Pos(), buffered: buffered}
+		}
+	})
+	if len(tracks) == 0 {
+		return
+	}
+
+	collectChanUses(info, fn.Body(), tracks)
+
+	for _, tr := range tracks {
+		if tr.escaped {
+			continue
+		}
+		reportChanLeak(pass, fn, tr)
+	}
+}
+
+// chanMake matches rhs as make(chan T[, n]) assigned to a local ident and
+// returns the channel variable's object. buffered is true when a capacity
+// argument is present and not literally zero.
+func chanMake(info *types.Info, as *ast.AssignStmt, i int, rhs ast.Expr) (types.Object, bool, bool) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, false, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return nil, false, false
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); !ok {
+		return nil, false, false
+	}
+	if _, ok := info.TypeOf(call.Args[0]).(*types.Chan); !ok {
+		return nil, false, false
+	}
+	if i >= len(as.Lhs) {
+		return nil, false, false
+	}
+	lhs, ok := as.Lhs[i].(*ast.Ident)
+	if !ok || lhs.Name == "_" {
+		return nil, false, false
+	}
+	var obj types.Object
+	if def, ok := info.Defs[lhs]; ok && def != nil {
+		obj = def
+	} else if use, ok := info.Uses[lhs]; ok {
+		obj = use
+	}
+	if obj == nil {
+		return nil, false, false
+	}
+	buffered := false
+	if len(call.Args) > 1 {
+		buffered = true
+		if lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit); ok && lit.Value == "0" {
+			buffered = false
+		}
+	}
+	return obj, buffered, true
+}
+
+// collectChanUses walks body — including nested function literals, tracking
+// go/defer/select context — and records every use of each tracked channel.
+func collectChanUses(info *types.Info, body *ast.BlockStmt, tracks map[types.Object]*chanTrack) {
+	// guardedComms: send/recv nodes that are the comm of a select clause
+	// with an alternative.
+	guardedComms := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasAlternative := len(sel.Body.List) >= 2
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasAlternative = true
+			}
+		}
+		if !hasAlternative {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+				guardedComms[cc.Comm] = true
+				// A recv comm may be wrapped: `v := <-ch` or `<-ch`.
+				switch s := cc.Comm.(type) {
+				case *ast.ExprStmt:
+					guardedComms[ast.Unparen(s.X)] = true
+				case *ast.AssignStmt:
+					for _, r := range s.Rhs {
+						guardedComms[ast.Unparen(r)] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	lookup := func(e ast.Expr) *chanTrack {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return nil
+		}
+		return tracks[obj]
+	}
+
+	var walk func(n ast.Node, goStmt *ast.GoStmt, deferred bool)
+	record := func(tr *chanTrack, op chanOp) { tr.ops = append(tr.ops, op) }
+	walk = func(n ast.Node, goStmt *ast.GoStmt, deferred bool) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.GoStmt:
+				walk(x.Call, x, deferred)
+				return false
+			case *ast.DeferStmt:
+				walk(x.Call, goStmt, true)
+				return false
+			case *ast.SendStmt:
+				if tr := lookup(x.Chan); tr != nil {
+					record(tr, chanOp{kind: chanSend, pos: x.Arrow, node: x,
+						goStmt: goStmt, deferred: deferred, guarded: guardedComms[x]})
+				}
+				walk(x.Value, goStmt, deferred)
+				// x.Chan itself already classified; don't double as escape.
+				return false
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					if tr := lookup(x.X); tr != nil {
+						record(tr, chanOp{kind: chanRecv, pos: x.OpPos, node: x,
+							goStmt: goStmt, deferred: deferred, guarded: guardedComms[x]})
+						return false
+					}
+				}
+			case *ast.RangeStmt:
+				if tr := lookup(x.X); tr != nil {
+					record(tr, chanOp{kind: chanRecv, pos: x.X.Pos(), node: x,
+						goStmt: goStmt, deferred: deferred})
+					if x.Key != nil {
+						walk(x.Key, goStmt, deferred)
+					}
+					walk(x.Body, goStmt, deferred)
+					return false
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+					if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+						switch id.Name {
+						case "close":
+							if len(x.Args) == 1 {
+								if tr := lookup(x.Args[0]); tr != nil {
+									record(tr, chanOp{kind: chanClose, pos: x.Pos(), node: x,
+										goStmt: goStmt, deferred: deferred})
+									return false
+								}
+							}
+						case "len", "cap":
+							return false // reads, not escapes
+						}
+					}
+				}
+				// Any tracked channel passed as an argument (or as the callee
+				// receiver) escapes.
+				for _, arg := range x.Args {
+					if tr := lookup(arg); tr != nil {
+						tr.escaped = true
+					}
+				}
+			case *ast.Ident:
+				// Remaining bare references: comparisons are harmless, but
+				// assignments, returns, composite literals and selector bases
+				// alias or publish the channel. Approximation: mark escaped on
+				// any use not consumed by a case above, except inside nil
+				// comparisons.
+				if tr := tracks[info.Uses[x]]; tr != nil {
+					tr.escaped = true
+				}
+			case *ast.BinaryExpr:
+				// ch == nil / ch != nil: harmless read.
+				if x.Op == token.EQL || x.Op == token.NEQ {
+					if lookup(x.X) != nil || lookup(x.Y) != nil {
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, stmt := range body.List {
+		walk(stmt, nil, false)
+	}
+}
+
+// reportChanLeak applies the stuck-sender / stuck-receiver rules to one
+// non-escaping channel.
+func reportChanLeak(pass *Pass, fn *Func, tr *chanTrack) {
+	var haveDeferredRecv, haveDeferredClose bool
+	for _, op := range tr.ops {
+		if op.deferred {
+			switch op.kind {
+			case chanRecv:
+				haveDeferredRecv = true
+			case chanClose:
+				haveDeferredClose = true
+			}
+		}
+	}
+
+	// dischargeNodes collects the fn-own-stack operations of the given kinds
+	// — the ops that discharge the goroutine's obligation (goroutine and
+	// deferred ops don't gate the creator's paths; defers are handled via
+	// haveDeferred* above).
+	dischargeNodes := func(kinds ...chanOpKind) map[ast.Node]bool {
+		nodes := map[ast.Node]bool{}
+		for _, op := range tr.ops {
+			if op.goStmt != nil || op.deferred {
+				continue
+			}
+			for _, k := range kinds {
+				if op.kind == k {
+					nodes[op.node] = true
+				}
+			}
+		}
+		return nodes
+	}
+	blockHas := func(b *Block, nodes map[ast.Node]bool, after token.Pos) bool {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if _, ok := x.(*ast.FuncLit); ok {
+					return false
+				}
+				if nodes[x] && x.Pos() > after {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+		return false
+	}
+	barredBy := func(nodes map[ast.Node]bool) func(*Block) bool {
+		return func(b *Block) bool { return blockHas(b, nodes, token.NoPos) }
+	}
+
+	spawnBlock := func(g *ast.GoStmt) *Block {
+		for _, b := range fn.CFG.Blocks {
+			for _, n := range b.Nodes {
+				if n == g {
+					return b
+				}
+			}
+		}
+		return fn.CFG.Entry // spawned from a nested literal; be conservative
+	}
+
+	// abandoned reports whether some path from the spawn to function exit
+	// avoids every discharging operation. The spawn block itself discharges
+	// when it performs one of the ops after the go statement (straight-line
+	// code keeps spawn and discharge in one block).
+	abandoned := func(g *ast.GoStmt, nodes map[ast.Node]bool) bool {
+		spawn := spawnBlock(g)
+		if blockHas(spawn, nodes, g.End()) {
+			return false
+		}
+		return fn.CFG.ReachableFrom(spawn, fn.CFG.Exit, barredBy(nodes))
+	}
+
+	reported := false
+	for _, op := range tr.ops {
+		if reported || op.goStmt == nil || op.guarded || op.deferred {
+			continue
+		}
+		switch op.kind {
+		case chanSend:
+			if tr.buffered || haveDeferredRecv {
+				continue
+			}
+			if abandoned(op.goStmt, dischargeNodes(chanRecv)) {
+				pass.Reportf(tr.makePos,
+					"channel may leak its sender goroutine: the goroutine started at %s sends on this unbuffered channel with no select alternative, and %s has a path to return that never receives from it; receive on every path (or buffer the channel, or guard the send with a select)",
+					pass.Fset().Position(op.goStmt.Pos()), fn.Name())
+				reported = true
+			}
+		case chanRecv:
+			if haveDeferredClose {
+				continue
+			}
+			if abandoned(op.goStmt, dischargeNodes(chanClose, chanSend)) {
+				pass.Reportf(tr.makePos,
+					"channel may leak its receiver goroutine: the goroutine started at %s receives from this channel with no select alternative, and %s has a path to return that never closes or sends on it; close the channel on every path (defer close is simplest)",
+					pass.Fset().Position(op.goStmt.Pos()), fn.Name())
+				reported = true
+			}
+		}
+	}
+}

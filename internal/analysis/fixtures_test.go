@@ -28,3 +28,19 @@ func TestGoroutineSupervisionFixture(t *testing.T) {
 func TestTraceGuardFixture(t *testing.T) {
 	checkFixture(t, "traceguard", TraceGuard)
 }
+
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, "lockorder", LockOrder)
+}
+
+func TestChanLeakFixture(t *testing.T) {
+	checkFixture(t, "chanleak", ChanLeak)
+}
+
+func TestHotpathBlockingFixture(t *testing.T) {
+	checkFixture(t, "hotpathblock", HotpathBlocking)
+}
+
+func TestHotpathEscapeFixture(t *testing.T) {
+	checkFixture(t, "hotpathescape", HotpathEscape)
+}

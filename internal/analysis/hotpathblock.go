@@ -1,0 +1,348 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotpathBlocking walks the call tree under every //samzasql:hotpath root
+// and reports any path that can reach a blocking operation: a mutex
+// Lock/RLock, an unguarded channel send/receive, a select without default, a
+// sync.WaitGroup/Cond wait, time.Sleep, or an I/O call (os, net, syscall,
+// fmt/log printing). The per-message paths were made fast by making them
+// straight-line (PR 1/PR 3); this rule keeps a refactor three layers down —
+// say a store helper growing a retry sleep — from quietly re-introducing a
+// stall that only shows up as tail latency.
+//
+// The analysis is a bottom-up summary fixpoint over the call graph: each
+// function's fact is the set of blocking operations it may reach, keyed by
+// the leaf operation's position so multiple routes to one operation converge
+// and report once. Boundary rule: a callee that is itself hotpath-annotated
+// contributes nothing to its callers — it is its own reporting root, so each
+// blocking fact is reported (and suppressed) exactly once, at the annotation
+// level that owns it. `go` sites never propagate (spawning does not block
+// the spawner); deferred calls do (they run before the hot frame returns).
+var HotpathBlocking = &Analyzer{
+	Name: "hotpath-blocking",
+	Doc: "no path from a //samzasql:hotpath function may reach a blocking operation — " +
+		"mutex Lock, unguarded channel send/receive, select without default, WaitGroup/Cond " +
+		"wait, time.Sleep, or I/O — unless suppressed with a rationale at the call site",
+	RunProgram: runHotpathBlocking,
+}
+
+// blockFact is one blocking operation a function may reach. Keyed by the
+// leaf position, so the fact domain is finite and propagation converges.
+type blockFact struct {
+	// what describes the leaf operation ("c.mu.Lock()", "channel receive").
+	what string
+	// leafPos is where the operation itself is.
+	leafPos token.Pos
+	// chain names the call route from the summarized function to the leaf
+	// (empty when the operation is in the function's own body).
+	chain []string
+}
+
+func (f blockFact) key() string { return fmt.Sprintf("%d", f.leafPos) }
+
+// blockSummary is the per-function fixpoint fact.
+type blockSummary struct {
+	facts map[string]blockFact
+}
+
+func runHotpathBlocking(pass *Pass) {
+	g := pass.Prog.Graph
+
+	store := g.Fixpoint(func(fn *Func, get func(*Func) Fact) Fact {
+		sum := &blockSummary{facts: map[string]blockFact{}}
+		for _, f := range directBlockingOps(fn) {
+			sum.facts[f.key()] = f
+		}
+		for _, site := range g.Sites[fn] {
+			if site.Go {
+				continue
+			}
+			for _, callee := range site.Callees {
+				if callee.IsHotPath() {
+					continue // boundary: the callee reports its own facts
+				}
+				cs, _ := get(callee).(*blockSummary)
+				if cs == nil {
+					continue
+				}
+				for key, f := range cs.facts {
+					if _, ok := sum.facts[key]; ok {
+						continue
+					}
+					sum.facts[key] = blockFact{
+						what:    f.what,
+						leafPos: f.leafPos,
+						chain:   append([]string{callee.Name()}, f.chain...),
+					}
+				}
+			}
+		}
+		return sum
+	}, func(old, new Fact) bool {
+		os, _ := old.(*blockSummary)
+		ns, _ := new.(*blockSummary)
+		if os == nil || ns == nil {
+			return os == ns
+		}
+		if len(os.facts) != len(ns.facts) {
+			return false
+		}
+		for k := range ns.facts {
+			if _, ok := os.facts[k]; !ok {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Report: every hotpath function (annotated decls and the literals inside
+	// them) is a root; its own direct ops report at the op, facts from
+	// non-hotpath callees report at the call site that pulls them in.
+	for _, fn := range g.Funcs {
+		if !fn.IsHotPath() || g.GoOnlyLiteral(fn) {
+			continue
+		}
+		type rep struct {
+			pos token.Pos
+			msg string
+		}
+		var reps []rep
+		for _, f := range directBlockingOps(fn) {
+			reps = append(reps, rep{pos: f.leafPos, msg: fmt.Sprintf(
+				"%s blocks inside hot path %s; per-message paths must stay lock- and wait-free (move the operation off the hot path or suppress with a rationale)",
+				f.what, fn.Name())})
+		}
+		// Facts reached through a call are grouped per call site: one
+		// diagnostic per site with the shortest route as witness, so a
+		// single suppression line covers everything the call pulls in.
+		type siteFact struct {
+			f     blockFact
+			route []string
+		}
+		for _, site := range g.Sites[fn] {
+			if site.Go {
+				continue
+			}
+			seen := map[string]bool{}
+			var facts []siteFact
+			for _, callee := range site.Callees {
+				if callee.IsHotPath() {
+					continue
+				}
+				cs, _ := store.Get(callee).(*blockSummary)
+				if cs == nil {
+					continue
+				}
+				keys := make([]string, 0, len(cs.facts))
+				for k := range cs.facts {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					f := cs.facts[k]
+					facts = append(facts, siteFact{f: f, route: append([]string{callee.Name()}, f.chain...)})
+				}
+			}
+			if len(facts) == 0 {
+				continue
+			}
+			sort.SliceStable(facts, func(i, j int) bool {
+				if len(facts[i].route) != len(facts[j].route) {
+					return len(facts[i].route) < len(facts[j].route)
+				}
+				return facts[i].f.leafPos < facts[j].f.leafPos
+			})
+			w := facts[0]
+			msg := fmt.Sprintf("call from hot path %s reaches %s at %s (via %s)",
+				fn.Name(), w.f.what, pass.Fset().Position(w.f.leafPos), strings.Join(w.route, " → "))
+			if extra := len(facts) - 1; extra > 0 {
+				msg += fmt.Sprintf(" and %d more blocking operation(s)", extra)
+			}
+			reps = append(reps, rep{pos: site.Call.Pos(), msg: msg + "; per-message paths must stay lock- and wait-free"})
+		}
+		sort.SliceStable(reps, func(i, j int) bool { return reps[i].pos < reps[j].pos })
+		for _, r := range reps {
+			pass.Reportf(r.pos, "%s", r.msg)
+		}
+	}
+}
+
+// directBlockingOps finds the blocking operations in fn's own body (not in
+// nested literals — those are their own Funcs).
+func directBlockingOps(fn *Func) []blockFact {
+	if fn.CFG == nil {
+		return nil
+	}
+	info := fn.Pkg.Info
+
+	// Comm statements of selects that have a default are non-blocking.
+	nonBlocking := map[ast.Node]bool{}
+	// Selects themselves: with default → non-blocking; without → one
+	// blocking fact for the whole statement (comms not double-counted).
+	selectHandled := map[ast.Node]bool{}
+	var facts []blockFact
+	add := func(what string, pos token.Pos) {
+		facts = append(facts, blockFact{what: what, leafPos: pos})
+	}
+
+	// First pass over CFG nodes: find select shapes. Select comm statements
+	// are emitted into select.comm blocks, so classify via the statements'
+	// enclosing select by scanning the syntax.
+	ast.Inspect(fn.Body(), func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			if hasDefault {
+				nonBlocking[cc.Comm] = true
+				switch s := cc.Comm.(type) {
+				case *ast.ExprStmt:
+					nonBlocking[ast.Unparen(s.X)] = true
+				case *ast.AssignStmt:
+					for _, r := range s.Rhs {
+						nonBlocking[ast.Unparen(r)] = true
+					}
+				case *ast.SendStmt:
+					nonBlocking[s] = true
+				}
+			} else {
+				// The select blocks as a unit; mark comms handled so the
+				// generic send/recv matcher below skips them.
+				selectHandled[cc.Comm] = true
+				switch s := cc.Comm.(type) {
+				case *ast.ExprStmt:
+					selectHandled[ast.Unparen(s.X)] = true
+				case *ast.AssignStmt:
+					for _, r := range s.Rhs {
+						selectHandled[ast.Unparen(r)] = true
+					}
+				}
+			}
+		}
+		if !hasDefault {
+			add("select without default", sel.Pos())
+		}
+		return true
+	})
+
+	// Range-over-channel: the CFG emits only the range expression, so detect
+	// the statement shape on the syntax.
+	ast.Inspect(fn.Body(), func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if r, ok := n.(*ast.RangeStmt); ok {
+			if t := info.TypeOf(r.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					add("range over channel", r.X.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	// `go` statements are skipped (their call runs on the new goroutine's
+	// stack); deferred statements stay in (they run before the hot frame
+	// returns, e.g. defer wg.Wait()).
+	skipGo := func(n ast.Node) bool { _, ok := n.(*ast.GoStmt); return ok }
+	visitBlockNodes(fn, skipGo, func(n ast.Node) {
+		if nonBlocking[n] || selectHandled[n] {
+			return
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			add("channel send", x.Arrow)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				add("channel receive", x.OpPos)
+			}
+		case *ast.CallExpr:
+			if class, name, op, pos := lockAcquisition(fn.Pkg, x); class != nil && (op == "Lock" || op == "RLock") {
+				add(fmt.Sprintf("%s.%s()", name, op), pos)
+				return
+			}
+			if what, ok := blockingStdlibCall(info, x); ok {
+				add(what, x.Pos())
+			}
+		}
+	})
+	return facts
+}
+
+// blockingStdlibCall classifies a call to a non-module function as blocking:
+// time.Sleep, sync waits, and I/O-performing stdlib packages.
+func blockingStdlibCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var obj *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj, _ = sel.Obj().(*types.Func)
+		} else if o, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			obj = o
+		}
+	case *ast.Ident:
+		obj, _ = info.Uses[fun].(*types.Func)
+	}
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	pkg := obj.Pkg().Path()
+	name := obj.Name()
+	switch {
+	case pkg == "time" && name == "Sleep":
+		return "time.Sleep", true
+	case pkg == "sync" && name == "Wait":
+		return "sync." + recvTypeName(obj) + ".Wait", true
+	case pkg == "os" || pkg == "net" || pkg == "syscall" || pkg == "bufio" ||
+		pkg == "io" || strings.HasPrefix(pkg, "net/") || strings.HasPrefix(pkg, "os/") ||
+		strings.HasPrefix(pkg, "io/"):
+		return "I/O call " + pkg + "." + name, true
+	case (pkg == "fmt" || pkg == "log") &&
+		(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+			strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic") ||
+			name == "Output"):
+		return "I/O call " + pkg + "." + name, true
+	}
+	return "", false
+}
+
+func recvTypeName(obj *types.Func) string {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "?"
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotpathEscape is a conservative escape check over the hotpath call tree:
+// every function reachable from a //samzasql:hotpath root (not just the
+// annotated bodies hotpath-alloc covers) is scanned for the address-escape
+// patterns that force a local onto the heap:
+//
+//   - &local flowing into an interface conversion (call argument with an
+//     interface parameter, assignment to an interface-typed location);
+//   - &local stored beyond the frame: assigned through a selector or index,
+//     placed in a composite literal, appended to a slice, sent on a channel,
+//     or returned;
+//   - a closure capturing an enclosing local and escaping (go statement,
+//     call argument, assignment) — checked only in non-annotated functions,
+//     since hotpath-alloc already reports this inside annotated bodies.
+//
+// "Conservative" cuts both ways: the rules fire only on syntactically
+// evident escapes (no alias tracking), and anything they do flag is a real
+// heap allocation on a path a hot root can reach — each diagnostic names the
+// root and call route so the reader can judge how hot the site actually is.
+var HotpathEscape = &Analyzer{
+	Name: "hotpath-escape",
+	Doc: "no function reachable from a //samzasql:hotpath root may leak the address of a " +
+		"local — into an interface conversion, a stored slice/composite/channel, a return " +
+		"value, or an escaping closure — since each leak is a per-call heap allocation",
+	RunProgram: runHotpathEscape,
+}
+
+func runHotpathEscape(pass *Pass) {
+	g := pass.Prog.Graph
+
+	// Reachability from hotpath roots with one witness route per function.
+	// `go` sites are excluded: a spawned goroutine runs off the hot path.
+	route := map[*Func][]string{}
+	var queue []*Func
+	for _, fn := range g.Funcs {
+		if fn.IsHotPath() && !g.GoOnlyLiteral(fn) {
+			route[fn] = nil
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, site := range g.Sites[fn] {
+			if site.Go {
+				continue
+			}
+			for _, callee := range site.Callees {
+				if _, seen := route[callee]; seen {
+					continue
+				}
+				route[callee] = append(append([]string{}, route[fn]...), fn.Name())
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	reached := make([]*Func, 0, len(route))
+	for fn := range route {
+		reached = append(reached, fn)
+	}
+	sort.Slice(reached, func(i, j int) bool { return reached[i].Pos() < reached[j].Pos() })
+	for _, fn := range reached {
+		checkEscapes(pass, fn, route[fn])
+	}
+}
+
+// checkEscapes scans one function's own body for address escapes.
+func checkEscapes(pass *Pass, fn *Func, route []string) {
+	if fn.CFG == nil {
+		return
+	}
+	info := fn.Pkg.Info
+
+	where := func() string {
+		if len(route) == 0 {
+			return "in hot path " + fn.Name()
+		}
+		return "in " + fn.Name() + " (reached from hot path via " + strings.Join(route, " → ") + ")"
+	}
+
+	// addrLocal returns the named local whose address e takes, or "".
+	addrLocal := func(e ast.Expr) string {
+		u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+		if !ok || u.Op != token.AND {
+			return ""
+		}
+		id, ok := ast.Unparen(u.X).(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return ""
+		}
+		if v.Pos() < fn.Pos() || v.Pos() > fn.Body().End() {
+			return "" // package-level or outer-function variable
+		}
+		return v.Name()
+	}
+
+	report := func(pos token.Pos, name, how string) {
+		pass.Reportf(pos, "&%s %s heap-allocates %s on every call; reuse a field or pass the value",
+			name, how, where())
+	}
+
+	walkLockNodes(fn, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkCallEscapes(info, x, addrLocal, report)
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				name := addrLocal(rhs)
+				if name == "" || i >= len(x.Lhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(x.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					_ = lhs
+					report(rhs.Pos(), name, "stored through "+exprStringInfo(fn, x.Lhs[i]))
+				default:
+					if t := info.TypeOf(x.Lhs[i]); t != nil && types.IsInterface(t) {
+						report(rhs.Pos(), name, "converted to interface "+t.String())
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if name := addrLocal(r); name != "" {
+					report(r.Pos(), name, "returned")
+				}
+			}
+		case *ast.SendStmt:
+			if name := addrLocal(x.Value); name != "" {
+				report(x.Value.Pos(), name, "sent on a channel")
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if name := addrLocal(v); name != "" {
+					report(v.Pos(), name, "stored in a composite literal")
+				}
+			}
+		}
+	})
+
+	// Escaping closures capturing locals — only where hotpath-alloc does not
+	// already enforce it (annotated bodies and their nested literals).
+	if fn.IsHotPath() {
+		return
+	}
+	nonEscaping := map[*ast.FuncLit]bool{}
+	ast.Inspect(fn.Body(), func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				nonEscaping[fl] = true
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if fl, ok := call.Fun.(*ast.FuncLit); ok {
+					nonEscaping[fl] = true
+				}
+			}
+		}
+		return true
+	})
+	for _, stmt := range fn.Body().List {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			fl, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !nonEscaping[fl] {
+				if name, ok := capturedEnclosingLocal(info, fn, fl); ok {
+					pass.Reportf(fl.Pos(),
+						"closure captures %q and escapes %s; the capture heap-allocates — bind the value once outside the hot tree",
+						name, where())
+				}
+			}
+			return false // one report at the outermost literal
+		})
+	}
+}
+
+// checkCallEscapes flags &local call arguments that convert to interface
+// parameters, and &local operands of append.
+func checkCallEscapes(info *types.Info, call *ast.CallExpr, addrLocal func(ast.Expr) string, report func(token.Pos, string, string)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+			for _, arg := range call.Args[1:] {
+				if name := addrLocal(arg); name != "" {
+					report(arg.Pos(), name, "appended to a slice that outlives the frame")
+				}
+			}
+			return
+		}
+	}
+	sig, ok := typeOfFun(info, call)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		name := addrLocal(arg)
+		if name == "" {
+			continue
+		}
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue
+			}
+			slice, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice)
+			if !ok {
+				continue
+			}
+			param = slice.Elem()
+		case i < params.Len():
+			param = params.At(i).Type()
+		default:
+			continue
+		}
+		if param != nil && types.IsInterface(param) {
+			report(arg.Pos(), name, "converted to interface parameter "+param.String())
+		}
+	}
+}
+
+func typeOfFun(info *types.Info, call *ast.CallExpr) (*types.Signature, bool) {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// capturedEnclosingLocal reports a variable declared in fn (outside fl) that
+// fl references — the capture that forces a heap allocation when fl escapes.
+func capturedEnclosingLocal(info *types.Info, fn *Func, fl *ast.FuncLit) (string, bool) {
+	found := ""
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() < fn.Pos() || v.Pos() > fn.Body().End() {
+			return true // not fn's local
+		}
+		if v.Pos() >= fl.Pos() && v.Pos() <= fl.End() {
+			return true // the literal's own local
+		}
+		found = v.Name()
+		return false
+	})
+	return found, found != ""
+}
+
+// exprStringInfo renders e using fn's package fset.
+func exprStringInfo(fn *Func, e ast.Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e)
+	return sb.String()
+}
+
+// writeExpr is a minimal expression printer for diagnostics (selectors,
+// indexes and identifiers; anything else prints as <expr>).
+func writeExpr(sb *strings.Builder, e ast.Expr) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		sb.WriteString(x.Name)
+	case *ast.SelectorExpr:
+		writeExpr(sb, x.X)
+		sb.WriteByte('.')
+		sb.WriteString(x.Sel.Name)
+	case *ast.IndexExpr:
+		writeExpr(sb, x.X)
+		sb.WriteString("[…]")
+	case *ast.StarExpr:
+		sb.WriteByte('*')
+		writeExpr(sb, x.X)
+	default:
+		sb.WriteString("<expr>")
+	}
+}

@@ -1,0 +1,527 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the repo-wide mutex acquisition-order graph and reports
+// cycles — the static shape of a potential deadlock. Where lock-discipline
+// (PR 4) checks one function body at a time, this analyzer is
+// interprocedural: a function's summary is the set of lock classes it may
+// acquire (directly or through callees), and an edge A→B is recorded
+// whenever a CFG path acquires B — or calls a function whose summary
+// acquires B — while A is held. Two threads taking A→B and B→A in opposite
+// orders can deadlock even though each order looks locally innocent, which
+// is exactly the cross-package bug (container ↔ kv ↔ kafka commit paths) an
+// intraprocedural rule cannot see.
+//
+// A lock class is the field or variable a Lock/RLock call resolves to —
+// "(*kafka.partition).mu", not one runtime instance — so the graph is
+// finite. Self-edges (A while A) are not reported: distinct instances of
+// one class (two partitions, two stores) may be locked in sequence
+// legitimately, and instance identity is not decidable statically.
+// Goroutine spawns sever the held-set (the spawned body starts lock-free);
+// deferred unlocks keep the lock held to function exit, which is the
+// conservative direction for ordering.
+var LockOrder = &Analyzer{
+	Name: "lock-order",
+	Doc: "the module-wide mutex acquisition graph (computed over CFG paths and the call graph) " +
+		"must be acyclic; a cycle means two goroutines can deadlock by taking the same locks " +
+		"in opposite orders — both acquisition stacks are reported",
+	RunProgram: runLockOrder,
+}
+
+// lockClassKey identifies a lock class: the types.Object of the field,
+// package-level var, or local var the Lock call resolves to.
+type lockClassKey = types.Object
+
+// lockAcq is one witnessed acquisition of a class: where, in which
+// function, and through which call chain (empty for direct acquisitions).
+type lockAcq struct {
+	class lockClassKey
+	name  string // printable class name
+	pos   token.Pos
+	fn    *Func
+	chain []string // call chain from fn to the acquiring function
+}
+
+// lockSummary is a function's fixpoint fact: every lock class the function
+// may acquire, transitively, with one witness each.
+type lockSummary struct {
+	acquires map[lockClassKey]lockAcq
+}
+
+// lockEdge is one acquisition-order edge with witnesses for both ends:
+// fromAcq explains how the held lock was taken (position where it was
+// held), acq explains how the second lock is acquired under it.
+type lockEdge struct {
+	from, to lockClassKey
+	fromName string
+	toName   string
+	heldAt   token.Pos // where `from` was locked on the witnessing path
+	fn       *Func     // function on whose path the edge was observed
+	acq      lockAcq   // acquisition of `to` under `from`
+}
+
+func runLockOrder(pass *Pass) {
+	prog := pass.Prog
+	g := prog.Graph
+
+	// Fixpoint: per-function may-acquire summaries. Deferred and go'd
+	// statements are excluded: a goroutine acquires on its own stack, and a
+	// deferred op is not an acquisition the caller observes mid-body.
+	store := g.Fixpoint(func(fn *Func, get func(*Func) Fact) Fact {
+		sum := &lockSummary{acquires: map[lockClassKey]lockAcq{}}
+		visitBlockNodes(fn, skipDeferAndGo, func(n ast.Node) {
+			if class, name, op, pos := lockAcquisition(fn.Pkg, n); class != nil && isAcquireOp(op) {
+				if _, ok := sum.acquires[class]; !ok {
+					sum.acquires[class] = lockAcq{class: class, name: name, pos: pos, fn: fn}
+				}
+			}
+		})
+		for _, site := range g.Sites[fn] {
+			if site.Go {
+				continue // a goroutine's locks are taken on its own stack
+			}
+			for _, callee := range site.Callees {
+				cs, _ := get(callee).(*lockSummary)
+				if cs == nil {
+					continue
+				}
+				for class, acq := range cs.acquires {
+					if _, ok := sum.acquires[class]; ok {
+						continue
+					}
+					chain := append([]string{callee.Name()}, acq.chain...)
+					sum.acquires[class] = lockAcq{
+						class: class, name: acq.name,
+						pos: site.Call.Pos(), fn: fn, chain: chain,
+					}
+				}
+			}
+		}
+		return sum
+	}, func(old, new Fact) bool {
+		os, _ := old.(*lockSummary)
+		ns, _ := new.(*lockSummary)
+		if os == nil || ns == nil {
+			return os == ns
+		}
+		if len(os.acquires) != len(ns.acquires) {
+			return false
+		}
+		for k := range ns.acquires {
+			if _, ok := os.acquires[k]; !ok {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Edge collection: forward may-hold dataflow over each function's CFG.
+	edges := map[[2]lockClassKey]lockEdge{}
+	addEdge := func(e lockEdge) {
+		if e.from == e.to {
+			return
+		}
+		key := [2]lockClassKey{e.from, e.to}
+		if have, ok := edges[key]; !ok || e.acq.pos < have.acq.pos {
+			edges[key] = e
+		}
+	}
+	for _, fn := range g.Funcs {
+		collectLockEdges(fn, g, store, addEdge)
+	}
+
+	reportLockCycles(pass, edges)
+}
+
+// heldLock tracks one held lock class and where it was acquired on the
+// current path.
+type heldLock struct {
+	class lockClassKey
+	name  string
+	pos   token.Pos
+}
+
+// collectLockEdges runs a union (may-hold) dataflow over fn's CFG and emits
+// an edge for every acquisition — direct or via callee summary — performed
+// while another class is held.
+func collectLockEdges(fn *Func, g *CallGraph, store *FactStore, addEdge func(lockEdge)) {
+	cfg := fn.CFG
+	if cfg == nil {
+		return
+	}
+	sites := g.Sites[fn]
+	siteAt := map[*ast.CallExpr]*CallSite{}
+	for _, s := range sites {
+		siteAt[s.Call] = s
+	}
+
+	// in[b]: set of held locks on entry, union over predecessors.
+	in := make([]map[lockClassKey]heldLock, len(cfg.Blocks))
+
+	changed := true
+	for round := 0; changed && round < len(cfg.Blocks)+2; round++ {
+		changed = false
+		for _, blk := range cfg.Blocks {
+			state := map[lockClassKey]heldLock{}
+			for k, v := range in[blk.Index] {
+				state[k] = v
+			}
+			out := applyLockBlock(fn, blk, state, siteAt, store, nil)
+			for _, succ := range blk.Succs {
+				tgt := in[succ.Index]
+				if tgt == nil {
+					tgt = map[lockClassKey]heldLock{}
+					in[succ.Index] = tgt
+				}
+				for k, v := range out {
+					if _, ok := tgt[k]; !ok {
+						tgt[k] = v
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Final emit pass with stable entry states.
+	for _, blk := range cfg.Blocks {
+		state := map[lockClassKey]heldLock{}
+		for k, v := range in[blk.Index] {
+			state[k] = v
+		}
+		applyLockBlock(fn, blk, state, siteAt, store, addEdge)
+	}
+}
+
+// applyLockBlock interprets one block's nodes over a held-lock state,
+// optionally emitting acquisition-order edges, and returns the exit state.
+func applyLockBlock(fn *Func, blk *Block, state map[lockClassKey]heldLock, siteAt map[*ast.CallExpr]*CallSite, store *FactStore, addEdge func(lockEdge)) map[lockClassKey]heldLock {
+	for _, node := range blk.Nodes {
+		// A deferred unlock releases at exit, not here — treating it as an
+		// immediate unlock would hide every lock-while-held edge in the
+		// common Lock-then-defer-Unlock shape. A go statement's operations
+		// run on another stack entirely.
+		if skipDeferAndGo(node) {
+			continue
+		}
+		walkNodeShallow(node, func(n ast.Node) {
+			// Call sites: edges from every held lock to every class the
+			// callee may acquire.
+			if call, ok := n.(*ast.CallExpr); ok {
+				if site := siteAt[call]; site != nil && !site.Go && addEdge != nil && len(state) > 0 {
+					for _, callee := range site.Callees {
+						cs, _ := store.Get(callee).(*lockSummary)
+						if cs == nil {
+							continue
+						}
+						for class, acq := range cs.acquires {
+							for _, held := range state {
+								addEdge(lockEdge{
+									from: held.class, to: class,
+									fromName: held.name, toName: acq.name,
+									heldAt: held.pos, fn: fn,
+									acq: lockAcq{
+										class: class, name: acq.name, pos: call.Pos(), fn: fn,
+										chain: append([]string{callee.Name()}, acq.chain...),
+									},
+								})
+							}
+						}
+					}
+				}
+			}
+			class, name, op, pos := lockAcquisition(fn.Pkg, n)
+			if class == nil {
+				return
+			}
+			switch {
+			case isAcquireOp(op):
+				if addEdge != nil {
+					for _, held := range state {
+						addEdge(lockEdge{
+							from: held.class, to: class,
+							fromName: held.name, toName: name,
+							heldAt: held.pos, fn: fn,
+							acq: lockAcq{class: class, name: name, pos: pos, fn: fn},
+						})
+					}
+				}
+				state[class] = heldLock{class: class, name: name, pos: pos}
+			default: // Unlock/RUnlock
+				delete(state, class)
+			}
+		})
+	}
+	return state
+}
+
+// walkNodeShallow visits n and its subexpressions in source order, skipping
+// function literal bodies (they are separate functions).
+func walkNodeShallow(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if x != nil {
+			visit(x)
+		}
+		return true
+	})
+}
+
+func isAcquireOp(op string) bool {
+	return op == "Lock" || op == "RLock" || op == "TryLock" || op == "TryRLock"
+}
+
+// lockAcquisition matches n as a Lock/RLock/Unlock/RUnlock call on a sync
+// primitive and resolves its lock class. Returns a nil class otherwise.
+func lockAcquisition(pkg *Package, n ast.Node) (lockClassKey, string, string, token.Pos) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil, "", "", token.NoPos
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", "", token.NoPos
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", "", token.NoPos
+	}
+	// Receiver must be (or embed) a sync lock.
+	recvType := pkg.Info.TypeOf(sel.X)
+	if recvType == nil {
+		return nil, "", "", token.NoPos
+	}
+	if ptr, ok := recvType.(*types.Pointer); ok {
+		recvType = ptr.Elem()
+	}
+	if lockKind(recvType) == "" {
+		return nil, "", "", token.NoPos
+	}
+	class, name := lockClassOf(pkg, sel.X)
+	if class == nil {
+		return nil, "", "", token.NoPos
+	}
+	return class, name, op, call.Pos()
+}
+
+// lockClassOf resolves the expression a Lock call's receiver denotes to a
+// class object: a struct field ("(*kafka.Consumer).mu" for any instance), a
+// package-level variable, or — weakest — a local variable.
+func lockClassOf(pkg *Package, e ast.Expr) (lockClassKey, string) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			field, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return nil, ""
+			}
+			return field, fieldClassName(sel.Recv(), field)
+		}
+		// Qualified identifier: pkg.GlobalMu.
+		if obj, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok {
+			return obj, objClassName(obj)
+		}
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[x].(*types.Var); ok {
+			// A lock embedded in a method receiver used as `c.Lock()` comes
+			// through as the receiver ident; classify by its type instead of
+			// the per-instance variable when the type is named.
+			if named, ok := derefType(obj.Type()).(*types.Named); ok && lockKind(named) != "" {
+				return named.Obj(), typeDisplayName(named)
+			}
+			return obj, objClassName(obj)
+		}
+	case *ast.StarExpr:
+		return lockClassOf(pkg, x.X)
+	case *ast.IndexExpr:
+		return lockClassOf(pkg, x.X)
+	}
+	return nil, ""
+}
+
+func fieldClassName(recv types.Type, field *types.Var) string {
+	return typeDisplayName(recv) + "." + field.Name()
+}
+
+func objClassName(v *types.Var) string {
+	if v.Pkg() != nil {
+		short := v.Pkg().Path()
+		if i := strings.LastIndex(short, "/"); i >= 0 {
+			short = short[i+1:]
+		}
+		return short + "." + v.Name()
+	}
+	return v.Name()
+}
+
+func typeDisplayName(t types.Type) string {
+	ptr := false
+	if p, ok := t.(*types.Pointer); ok {
+		ptr = true
+		t = p.Elem()
+	}
+	name := "?"
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		short := ""
+		if obj.Pkg() != nil {
+			short = obj.Pkg().Path()
+			if i := strings.LastIndex(short, "/"); i >= 0 {
+				short = short[i+1:]
+			}
+			short += "."
+		}
+		name = short + obj.Name()
+	} else {
+		name = t.String()
+	}
+	if ptr {
+		return "(*" + name + ")"
+	}
+	return "(" + name + ")"
+}
+
+// reportLockCycles finds strongly connected components of the acquisition
+// graph and reports one diagnostic per cyclic component, with both
+// acquisition stacks.
+func reportLockCycles(pass *Pass, edges map[[2]lockClassKey]lockEdge) {
+	// Adjacency over classes.
+	adj := map[lockClassKey][]lockClassKey{}
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	for _, succs := range adj {
+		sort.Slice(succs, func(i, j int) bool { return succs[i].Pos() < succs[j].Pos() })
+	}
+
+	// For every edge A→B, look for a return path B→…→A; the pair of
+	// witnesses is the deadlock candidate. Deduplicate by unordered class
+	// pair so each cycle reports once, at the earliest-position witness
+	// (iteration over the position-sorted keys keeps that deterministic).
+	keys := make([][2]lockClassKey, 0, len(edges))
+	for key := range edges {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return edges[keys[i]].acq.pos < edges[keys[j]].acq.pos })
+	type pairKey [2]lockClassKey
+	seen := map[pairKey]bool{}
+	var reports []lockEdge
+	var returns []lockEdge
+	for _, key := range keys {
+		e := edges[key]
+		path := findLockPath(adj, key[1], key[0])
+		if path == nil {
+			continue
+		}
+		// Normalize the unordered pair.
+		pk := pairKey{key[0], key[1]}
+		if pk[1].Pos() < pk[0].Pos() {
+			pk[0], pk[1] = pk[1], pk[0]
+		}
+		if seen[pk] {
+			continue
+		}
+		seen[pk] = true
+		// The witness for the return direction: the first edge on the path.
+		back := edges[[2]lockClassKey{path[0], path[1]}]
+		reports = append(reports, e)
+		returns = append(returns, back)
+	}
+	order := make([]int, len(reports))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return reports[order[i]].acq.pos < reports[order[j]].acq.pos })
+	for _, i := range order {
+		e, back := reports[i], returns[i]
+		pass.Reportf(e.acq.pos,
+			"lock order cycle (potential deadlock): %s is acquired while %s is held (%s), but %s is acquired while %s is held in %s at %s; one consistent order is required",
+			e.toName, e.fromName, lockStackString(pass, e),
+			back.toName, back.fromName, back.fn.Name(), pass.Fset().Position(back.acq.pos))
+	}
+}
+
+// lockStackString renders one edge's acquisition stack: holder position and
+// the call chain reaching the second acquisition.
+func lockStackString(pass *Pass, e lockEdge) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s locked at %s in %s", e.fromName, pass.Fset().Position(e.heldAt), e.fn.Name())
+	if len(e.acq.chain) > 0 {
+		fmt.Fprintf(&sb, "; %s via %s", e.toName, strings.Join(e.acq.chain, " → "))
+	}
+	return sb.String()
+}
+
+// findLockPath returns a shortest node path from src to dst in adj
+// (inclusive of both ends), or nil.
+func findLockPath(adj map[lockClassKey][]lockClassKey, src, dst lockClassKey) []lockClassKey {
+	type qe struct {
+		node lockClassKey
+		prev int
+	}
+	queue := []qe{{node: src, prev: -1}}
+	visited := map[lockClassKey]bool{src: true}
+	for i := 0; i < len(queue); i++ {
+		cur := queue[i]
+		if cur.node == dst {
+			var rev []lockClassKey
+			for j := i; j != -1; j = queue[j].prev {
+				rev = append(rev, queue[j].node)
+			}
+			path := make([]lockClassKey, 0, len(rev))
+			for j := len(rev) - 1; j >= 0; j-- {
+				path = append(path, rev[j])
+			}
+			return path
+		}
+		for _, next := range adj[cur.node] {
+			if !visited[next] {
+				visited[next] = true
+				queue = append(queue, qe{node: next, prev: i})
+			}
+		}
+	}
+	return nil
+}
+
+// walkLockNodes visits every CFG node of fn shallowly (no literal bodies).
+func walkLockNodes(fn *Func, visit func(ast.Node)) {
+	visitBlockNodes(fn, nil, visit)
+}
+
+// visitBlockNodes visits fn's CFG nodes shallowly (never entering function
+// literals), skipping top-level nodes for which skip returns true.
+func visitBlockNodes(fn *Func, skip func(ast.Node) bool, visit func(ast.Node)) {
+	if fn.CFG == nil {
+		return
+	}
+	for _, blk := range fn.CFG.Blocks {
+		for _, node := range blk.Nodes {
+			if skip != nil && skip(node) {
+				continue
+			}
+			walkNodeShallow(node, visit)
+		}
+	}
+}
+
+// skipDeferAndGo filters defer and go statements out of a block-node walk.
+func skipDeferAndGo(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return true
+	}
+	return false
+}

@@ -27,6 +27,30 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
+// TestSuiteHasInterproceduralRules pins the whole-program rules into the
+// suite: dropping one from Suite() would silently stop checking deadlock
+// freedom, channel hygiene, and the hot-path blocking/escape contracts
+// everywhere (TestRepoIsClean and make vet-custom both run Suite()).
+func TestSuiteHasInterproceduralRules(t *testing.T) {
+	have := map[string]bool{}
+	for _, a := range Suite() {
+		have[a.Name] = true
+	}
+	for _, want := range []string{"lock-order", "chan-leak", "hotpath-blocking", "hotpath-escape"} {
+		if !have[want] {
+			t.Errorf("Suite() lost the %s analyzer", want)
+		}
+		a := ByName(want)
+		if a == nil {
+			t.Errorf("ByName(%q) = nil", want)
+			continue
+		}
+		if a.RunProgram == nil {
+			t.Errorf("%s must be a whole-program (RunProgram) analyzer", want)
+		}
+	}
+}
+
 // TestRepoHasHotpathAnnotations guards the annotation satellite: the message
 // hot paths must stay marked, otherwise hotpath-alloc silently checks
 // nothing. The exact function set may grow, but it must never shrink to the
@@ -47,7 +71,11 @@ func TestRepoHasHotpathAnnotations(t *testing.T) {
 		total += n
 		perPkg[pkg.PkgPath] = n
 	}
-	if total < 5 {
+	// The interprocedural rules (hotpath-blocking, hotpath-escape) root their
+	// whole-program walks at these annotations, so shrinking the set now
+	// blinds four analyzers, not one. The floor sits well under the current
+	// count (~35) but far above vacuity.
+	if total < 20 {
 		t.Fatalf("only %d //samzasql:hotpath functions in the tree; the message hot paths must stay annotated", total)
 	}
 	for _, want := range []string{
@@ -56,6 +84,7 @@ func TestRepoHasHotpathAnnotations(t *testing.T) {
 		"samzasql/internal/kv",
 		"samzasql/internal/monitor",
 		"samzasql/internal/operators",
+		"samzasql/internal/executor",
 	} {
 		if perPkg[want] == 0 {
 			t.Errorf("package %s has no //samzasql:hotpath annotations left", want)

@@ -1,6 +1,7 @@
 package analysis
 
-// Suite returns every project analyzer, in stable order.
+// Suite returns every project analyzer, in stable order. The first six are
+// per-package; the last four are whole-program (CFG + call graph).
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		ErrDrop,
@@ -9,6 +10,10 @@ func Suite() []*Analyzer {
 		LockDiscipline,
 		MetricsBinding,
 		TraceGuard,
+		ChanLeak,
+		HotpathBlocking,
+		HotpathEscape,
+		LockOrder,
 	}
 }
 

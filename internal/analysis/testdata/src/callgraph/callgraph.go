@@ -1,0 +1,55 @@
+// Package callgraph is a structural fixture for call-graph resolution
+// tests: no want comments — callgraph_test.go asserts the edges directly.
+package callgraph
+
+// Store is a narrow interface with two module implementations, so calls
+// through it devirtualize to both.
+type Store interface {
+	Get(k string) int
+}
+
+type MemStore struct{}
+
+func (MemStore) Get(k string) int { return 1 }
+
+type DiskStore struct{}
+
+func (*DiskStore) Get(k string) int { return 2 }
+
+// NotAStore has no Get method and must not appear as a devirtualized target.
+type NotAStore struct{}
+
+func (NotAStore) Put(k string) {}
+
+// UseIface calls through the interface: two devirtualized callees.
+func UseIface(s Store) int { return s.Get("x") }
+
+// Static calls helper directly: one static callee.
+func Static() int { return helper() }
+
+func helper() int { return 7 }
+
+// Literals exercises literal resolution: a direct literal call, a call
+// through a variable (unknown), and go/defer flagged sites.
+func Literals() {
+	f := func() int { return 1 }
+	_ = f() // unknown: call through a function value
+	go func() { helper() }()
+	defer func() { helper() }()
+	func() { helper() }() // direct literal call: resolved
+}
+
+// Recurse and Mutual form a call-graph cycle for the fixpoint test.
+func Recurse(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return Mutual(n - 1)
+}
+
+func Mutual(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return Recurse(n - 1)
+}

@@ -1,0 +1,62 @@
+package callgraph
+
+// Wide is implemented by more module types than devirtLimit, so a call
+// through it must resolve to Unknown rather than fanning out.
+type Wide interface {
+	ID() int
+}
+
+type W01 struct{}
+
+func (W01) ID() int { return 1 }
+
+type W02 struct{}
+
+func (W02) ID() int { return 2 }
+
+type W03 struct{}
+
+func (W03) ID() int { return 3 }
+
+type W04 struct{}
+
+func (W04) ID() int { return 4 }
+
+type W05 struct{}
+
+func (W05) ID() int { return 5 }
+
+type W06 struct{}
+
+func (W06) ID() int { return 6 }
+
+type W07 struct{}
+
+func (W07) ID() int { return 7 }
+
+type W08 struct{}
+
+func (W08) ID() int { return 8 }
+
+type W09 struct{}
+
+func (W09) ID() int { return 9 }
+
+type W10 struct{}
+
+func (W10) ID() int { return 10 }
+
+type W11 struct{}
+
+func (W11) ID() int { return 11 }
+
+type W12 struct{}
+
+func (W12) ID() int { return 12 }
+
+type W13 struct{}
+
+func (W13) ID() int { return 13 }
+
+// UseWide calls through the over-wide interface.
+func UseWide(w Wide) int { return w.ID() }

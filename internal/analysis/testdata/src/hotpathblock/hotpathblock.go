@@ -1,0 +1,91 @@
+// Package hotpathblock is a golden fixture for the hotpath-blocking
+// analyzer: no path from a //samzasql:hotpath root may reach a blocking
+// operation.
+package hotpathblock
+
+import (
+	"sync"
+	"time"
+)
+
+type Table struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+// lockedGet is not annotated: its lock surfaces at hot call sites.
+func (t *Table) lockedGet(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.vals[k]
+}
+
+// depth2 shows the chain through two un-annotated frames.
+func depth2(t *Table, k string) int { return t.lockedGet(k) }
+
+//samzasql:hotpath
+func directLock(t *Table, k string) int {
+	t.mu.Lock() // want `mu\.Lock\(\) blocks inside hot path`
+	defer t.mu.Unlock()
+	return t.vals[k]
+}
+
+//samzasql:hotpath
+func viaCall(t *Table, k string) int {
+	return depth2(t, k) // want `reaches .*mu\.Lock\(\).*via hotpathblock\.depth2 → \(\*hotpathblock\.Table\)\.lockedGet`
+}
+
+//samzasql:hotpath
+func sleeps() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks inside hot path`
+}
+
+//samzasql:hotpath
+func channelOps(ch chan int, done chan struct{}) int {
+	ch <- 1 // want `channel send blocks inside hot path`
+	v := <-ch // want `channel receive blocks inside hot path`
+	select { // want `select without default blocks inside hot path`
+	case <-done:
+	case ch <- v:
+	}
+	return v
+}
+
+//samzasql:hotpath
+func nonBlockingOps(ch chan int) int {
+	// A select with a default never parks: legal.
+	select {
+	case v := <-ch:
+		return v
+	default:
+	}
+	// TryLock does not block either.
+	return 0
+}
+
+// hotCallee is annotated itself: the boundary rule means its lock reports
+// here, once, and not again at every hot caller.
+//
+//samzasql:hotpath
+func hotCallee(t *Table, k string) int {
+	//samzasql:ignore hotpath-blocking -- single-owner table: lock is uncontended by design, measured at ns
+	t.mu.Lock() // want-suppressed `mu\.Lock\(\) blocks inside hot path`
+	defer t.mu.Unlock()
+	return t.vals[k]
+}
+
+//samzasql:hotpath
+func hotCaller(t *Table, k string) int {
+	// No finding here: hotCallee owns (and suppressed) its own fact.
+	return hotCallee(t, k)
+}
+
+//samzasql:hotpath
+func spawns(t *Table, k string) {
+	// The goroutine blocks on its own stack, not the hot path's.
+	go func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		t.vals[k] = 1
+	}()
+}

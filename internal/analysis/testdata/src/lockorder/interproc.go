@@ -1,0 +1,71 @@
+package lockorder
+
+import "sync"
+
+// The interprocedural half of the fixture: the second acquisition happens
+// inside a callee, so only the summary fixpoint can see the edge.
+
+type Journal struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Index struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (j *Journal) bump() {
+	j.mu.Lock()
+	j.n++
+	j.mu.Unlock()
+}
+
+func (ix *Index) bump() {
+	ix.mu.Lock()
+	ix.n++
+	ix.mu.Unlock()
+}
+
+// viaCallee holds Index.mu and reaches Journal.mu through bump.
+func viaCallee(ix *Index, j *Journal) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	j.bump() // want `lock order cycle`
+}
+
+// viaCalleeBack closes the cycle in the other direction, also via a call.
+func viaCalleeBack(ix *Index, j *Journal) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ix.bump()
+}
+
+// suppressedPair documents a known, rationalized inversion: the ignore
+// directive keeps it visible under -show-ignored without failing the build.
+type Left struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Right struct {
+	mu sync.Mutex
+	n  int
+}
+
+func leftThenRight(l *Left, r *Right) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	//samzasql:ignore lock-order -- startup-only path; rightThenLeft runs single-threaded before serving
+	r.mu.Lock() // want-suppressed `lock order cycle`
+	r.n++
+	r.mu.Unlock()
+}
+
+func rightThenLeft(l *Left, r *Right) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l.mu.Lock()
+	l.n++
+	l.mu.Unlock()
+}

@@ -1,0 +1,65 @@
+// Package lockorder is a golden fixture for the lock-order analyzer: the
+// module-wide acquisition graph must stay acyclic.
+package lockorder
+
+import "sync"
+
+type Broker struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Partition struct {
+	mu sync.Mutex
+	n  int
+}
+
+// forward acquires Broker.mu → Partition.mu.
+func forward(b *Broker, p *Partition) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p.mu.Lock() // want `lock order cycle`
+	p.n++
+	p.mu.Unlock()
+}
+
+// backward acquires Partition.mu → Broker.mu: the opposite order. The cycle
+// reports once, at the earlier acquisition (in forward above).
+func backward(b *Broker, p *Partition) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// consistent takes the same two locks in the forward order everywhere else;
+// an edge repeated in one direction is not a cycle.
+func consistent(b *Broker, p *Partition) {
+	b.mu.Lock()
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// sameClassTwice locks two instances of one class in sequence. Instance
+// identity is not decidable statically, so self-edges never report.
+func sameClassTwice(p1, p2 *Partition) {
+	p1.mu.Lock()
+	p2.mu.Lock()
+	p2.n++
+	p2.mu.Unlock()
+	p1.mu.Unlock()
+}
+
+// spawned takes the second lock on a fresh goroutine stack: no edge.
+func spawned(b *Broker, p *Partition) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		p.mu.Lock()
+		p.n++
+		p.mu.Unlock()
+	}()
+}

@@ -92,6 +92,7 @@ func (t *Task) bindSender(collector samza.MessageCollector) {
 	if t.ctx != nil {
 		act = t.ctx.Trace
 	}
+	//samzasql:ignore hotpath-escape -- the sender closure is bound once per task (rebound only when a test driver swaps collectors), not per message
 	t.program.SetSender(func(stream string, partition int32, key, value []byte, ts int64) error {
 		env := samza.OutgoingMessageEnvelope{
 			Stream:    stream,

@@ -206,24 +206,14 @@ func (b *Broker) ProduceBatch(topicName string, msgs []Message) error {
 		return fmt.Errorf("%w: %q", ErrUnknownTopic, topicName)
 	}
 	n := int32(len(t.partitions))
-	resolve := func(m *Message) (int32, error) {
-		part := m.Partition
-		if part < 0 {
-			part = PartitionForKey(m.Key, n)
-		}
-		if part >= n {
-			return 0, fmt.Errorf("%w: %s-%d", ErrUnknownPartition, topicName, part)
-		}
-		return part, nil
-	}
 	for i := 0; i < len(msgs); {
-		part, err := resolve(&msgs[i])
+		part, err := resolvePartition(&msgs[i], n, topicName)
 		if err != nil {
 			return err
 		}
 		j := i + 1
 		for j < len(msgs) {
-			next, err := resolve(&msgs[j])
+			next, err := resolvePartition(&msgs[j], n, topicName)
 			if err != nil {
 				return err
 			}
@@ -240,6 +230,19 @@ func (b *Broker) ProduceBatch(topicName string, msgs []Message) error {
 		i = j
 	}
 	return nil
+}
+
+// resolvePartition maps one message to its destination partition: the
+// explicit assignment when set, otherwise the key hash over n partitions.
+func resolvePartition(m *Message, n int32, topicName string) (int32, error) {
+	part := m.Partition
+	if part < 0 {
+		part = PartitionForKey(m.Key, n)
+	}
+	if part >= n {
+		return 0, fmt.Errorf("%w: %s-%d", ErrUnknownPartition, topicName, part)
+	}
+	return part, nil
 }
 
 // PartitionForKey returns the partition Kafka's default partitioner would

