@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet vet-custom race verify ci bench bench-figures bench-compare profile trace-overhead monitor-smoke
+.PHONY: build test vet vet-custom race verify ci bench bench-figures bench-compare profile trace-overhead monitor-smoke profile-smoke profile-overhead
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,10 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (see README "Static analysis"): six
+# Project-specific static analysis (see README "Static analysis"): seven
 # per-package rules (hot-path allocations, metrics binding, lock discipline,
-# commit-chain error drops, goroutine supervision, trace guards) plus four
+# commit-chain error drops, goroutine supervision, trace guards, profile
+# guards) plus four
 # whole-program interprocedural rules (lock-order, chan-leak,
 # hotpath-blocking, hotpath-escape) over the CFG/call-graph layer. Exits
 # non-zero on any unsuppressed finding; timed so a regression past the ~30s
@@ -90,18 +91,50 @@ monitor-smoke:
 	$(GO) run ./cmd/samzasql-bench -figure monitor-smoke -messages 20000
 
 PROFILE_ADDR ?= 127.0.0.1:8642
+PROFILE_SECONDS ?= 5
 
 # CPU-profile a live benchmark through the introspection server: start a
 # long filter-figure run with -metrics-addr, pull /debug/pprof/profile for
-# 5 seconds, write cpu.pprof, then stop the run. Inspect with
-# `go tool pprof cpu.pprof`.
+# PROFILE_SECONDS, write cpu.pprof, then stop the run. Inspect with
+# `go tool pprof cpu.pprof`. Fails loudly (and kills the run) when the
+# introspection server never answers /healthz — a busy PROFILE_ADDR used to
+# make this target hang on the capture curl instead.
 profile:
 	$(GO) build -o /tmp/samzasql-bench ./cmd/samzasql-bench
 	/tmp/samzasql-bench -figure 5a -containers 1 -messages 2000000 \
 		-metrics-addr $(PROFILE_ADDR) -metrics-interval 500ms & pid=$$!; \
+	up=0; \
 	for i in 1 2 3 4 5 6 7 8 9 10; do \
-		sleep 1; curl -fsS -o /dev/null "http://$(PROFILE_ADDR)/healthz" && break; \
+		sleep 1; \
+		if curl -fsS --max-time 2 -o /dev/null "http://$(PROFILE_ADDR)/healthz"; then up=1; break; fi; \
 	done; \
-	curl -fsS -o cpu.pprof "http://$(PROFILE_ADDR)/debug/pprof/profile?seconds=5"; rc=$$?; \
+	if [ $$up -ne 1 ]; then \
+		echo "make profile: introspection server never answered http://$(PROFILE_ADDR)/healthz (port in use? run died?)" >&2; \
+		kill $$pid 2>/dev/null || true; wait $$pid 2>/dev/null || true; exit 1; \
+	fi; \
+	curl -fsS --max-time $$(( $(PROFILE_SECONDS) + 10 )) -o cpu.pprof \
+		"http://$(PROFILE_ADDR)/debug/pprof/profile?seconds=$(PROFILE_SECONDS)"; rc=$$?; \
 	kill $$pid 2>/dev/null || true; wait $$pid 2>/dev/null || true; \
-	if [ $$rc -eq 0 ]; then echo "wrote cpu.pprof"; ls -l cpu.pprof; else exit $$rc; fi
+	if [ $$rc -eq 0 ]; then echo "wrote cpu.pprof"; ls -l cpu.pprof; else \
+		echo "make profile: pprof capture failed (curl exit $$rc)" >&2; exit $$rc; fi
+
+# Directory where profile-smoke saves the raw /profile JSON answers (CI
+# uploads it as a build artifact).
+PROFILE_ARTIFACTS ?= profile-artifacts
+
+# End-to-end smoke of continuous profiling: a two-container profiled job
+# drains a CPU-bound backlog while the monitor tails __profiles; asserts
+# over HTTP that /profile serves a cluster-merged, non-empty hot-function
+# top-N with contributions from both containers, then saves the raw per-kind
+# /profile JSON under PROFILE_ARTIFACTS. Exits non-zero on any missed
+# assertion.
+profile-smoke:
+	$(GO) run ./cmd/samzasql-bench -figure profile-smoke -messages 20000 -artifacts $(PROFILE_ARTIFACTS)
+
+# Continuous-profiling overhead report: first re-pin the profiler-off hot
+# path at 0 allocs/op, then the best-of-5 throughput comparison across
+# profiler modes (off, default 1s/200ms, aggressive always-on) on the filter
+# query. The default mode must stay within ~5% of off (EXPERIMENTS.md).
+profile-overhead:
+	$(GO) test -run 'TestFilterProcessZeroAllocsWithProfiler' -count=1 -v ./internal/executor/
+	$(GO) run ./cmd/samzasql-bench -figure profile-overhead -messages $(BENCH_MESSAGES) -profile-rounds 5

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		figure     = flag.String("figure", "all", "figure to regenerate: 5a, 5b, 5c, 6, figures (all four), state, trace, monitor-smoke, loc or all")
+		figure     = flag.String("figure", "all", "figure to regenerate: 5a, 5b, 5c, 6, figures (all four), state, trace, monitor-smoke, profile-overhead, profile-smoke, hot, loc or all")
 		messages   = flag.Int("messages", 200_000, "orders messages per run")
 		partitions = flag.Int("partitions", 32, "partitions per topic (paper: 32)")
 		products   = flag.Int("products", 100, "products relation cardinality")
@@ -35,6 +35,10 @@ func main() {
 		writeBatch = flag.Int("write-batch", 0, "batch store/changelog writes until commit, capped at this many dirty keys (0 = write-through mirroring)")
 		traceRate  = flag.Float64("trace-sample-rate", 0, "sample roughly this fraction of produced messages into end-to-end span trees (0 = tracing off)")
 		traceRnds  = flag.Int("trace-rounds", 5, "rounds per point for -figure trace (best-of comparison)")
+		profIntv   = flag.Duration("profile-interval", 0, "run each job's continuous profiler at this capture period (e.g. 1s; 0 = profiling off)")
+		profWindow = flag.Duration("profile-window", 0, "CPU sampling length within each profile interval (0 = profiler default; equal to the interval = always-on)")
+		profRnds   = flag.Int("profile-rounds", 5, "rounds per point for -figure profile-overhead (best-of comparison)")
+		artifacts  = flag.String("artifacts", "", "directory for raw /profile JSON artifacts from -figure profile-smoke (empty = don't save)")
 		monitorOn  = flag.Bool("monitor", false, "attach the cluster monitor to every run (tails __metrics/__traces, evaluates SLO rules onto __alerts) and print each SamzaSQL run's lag-recovery series")
 		batchSize  = flag.Int("batch-size", 0, "vectorized delivery granularity for SamzaSQL jobs: messages per columnar block (0 = framework default, -1 = per-message scalar path)")
 		jsonPath   = flag.String("json", "", "also write the measured series as machine-readable JSON to this path (e.g. BENCH_results.json)")
@@ -61,6 +65,11 @@ func main() {
 		fatalf("bad -trace-sample-rate value %v (want [0, 1])", *traceRate)
 	}
 	cfg.TraceSampleRate = *traceRate
+	if *profIntv < 0 || *profWindow < 0 {
+		fatalf("bad -profile-interval/-profile-window (want >= 0)")
+	}
+	cfg.ProfileInterval = *profIntv
+	cfg.ProfileWindow = *profWindow
 	cfg.Monitor = *monitorOn
 	if *batchSize < -1 {
 		fatalf("bad -batch-size value %d (want >= -1)", *batchSize)
@@ -134,6 +143,39 @@ func main() {
 		fmt.Println(bench.FormatMonitorSmoke(r))
 	}
 
+	// runProfileOverhead measures continuous-profiling cost off/default/
+	// aggressive on the filter benchmark, behind "-figure profile-overhead".
+	runProfileOverhead := func() {
+		rows, err := bench.RunProfileOverhead(cfg.Messages, *profRnds)
+		if err != nil {
+			fatalf("profile overhead: %v", err)
+		}
+		fmt.Println(bench.FormatProfileOverhead(rows))
+	}
+
+	// runProfileSmoke drives a two-container profiled job and asserts the
+	// cluster-merged /profile surface over HTTP, behind "-figure
+	// profile-smoke" and `make profile-smoke`.
+	runProfileSmoke := func() {
+		r, err := bench.RunProfileSmoke(cfg.Messages, *artifacts)
+		if err != nil {
+			fatalf("profile smoke: %v", err)
+		}
+		fmt.Println(bench.FormatProfileSmoke(r))
+	}
+
+	// runHot collects the CPU hot-function baseline from a profiled filter
+	// run, behind "-figure hot"; it lands in -json for bench-compare
+	// attribution.
+	runHot := func() {
+		funcs, err := bench.CollectHotFunctions(cfg.Messages)
+		if err != nil {
+			fatalf("hot functions: %v", err)
+		}
+		fmt.Println(bench.FormatHotFunctions(funcs))
+		report.HotFunctions = funcs
+	}
+
 	switch *figure {
 	case "all":
 		for _, spec := range bench.Figures {
@@ -151,16 +193,39 @@ func main() {
 		runTraceOverhead()
 	case "monitor-smoke":
 		runMonitorSmoke()
+	case "profile-overhead":
+		runProfileOverhead()
+	case "profile-smoke":
+		runProfileSmoke()
+	case "hot":
+		runHot()
 	case "loc":
 		printLOC()
 	default:
 		spec, ok := bench.FigureByID(*figure)
 		if !ok {
-			fatalf("unknown figure %q (want 5a, 5b, 5c, 6, figures, state, trace, monitor-smoke, loc or all)", *figure)
+			fatalf("unknown figure %q (want 5a, 5b, 5c, 6, figures, state, trace, monitor-smoke, profile-overhead, profile-smoke, hot, loc or all)", *figure)
 		}
 		runOne(spec)
 	}
 	if *jsonPath != "" {
+		// Merge-on-write: a run that didn't collect hot functions (or store
+		// tuning) keeps the baseline file's sections instead of erasing them,
+		// so `-figure figures -json` doesn't strip the attribution baseline
+		// `-figure hot -json` wrote earlier.
+		if prev, err := bench.ReadReport(*jsonPath); err == nil {
+			if report.Figures == nil {
+				report.Figures = prev.Figures
+				report.Messages = prev.Messages
+				report.Partitions = prev.Partitions
+			}
+			if report.HotFunctions == nil {
+				report.HotFunctions = prev.HotFunctions
+			}
+			if report.StoreTuning == nil {
+				report.StoreTuning = prev.StoreTuning
+			}
+		}
 		if err := report.WriteJSON(*jsonPath); err != nil {
 			fatalf("%v", err)
 		}
@@ -174,6 +239,20 @@ func main() {
 		table, regressed := bench.FormatComparison(bench.CompareReports(baseline, report, 0.10))
 		fmt.Printf("ratio comparison vs %s (>10%% drops flagged):\n%s", *compare, table)
 		if regressed {
+			// Attribution: re-run the filter benchmark under the profiler and
+			// diff hot-function CPU shares against the committed baseline, so
+			// the regression report names the function whose share grew.
+			if len(baseline.HotFunctions) > 0 {
+				fresh, err := bench.CollectHotFunctions(cfg.Messages)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "samzasql-bench: regression attribution failed: %v\n", err)
+				} else {
+					fmt.Printf("regression attribution (profiled filter run vs baseline hot functions, top risers):\n%s",
+						bench.FormatHotShifts(bench.CompareHotFunctions(baseline.HotFunctions, fresh), 8))
+				}
+			} else {
+				fmt.Println("no hot-function baseline in the compare report; run `-figure hot -json` to record one for attribution")
+			}
 			os.Exit(3)
 		}
 	}

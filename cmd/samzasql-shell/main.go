@@ -40,8 +40,10 @@ func main() {
 		writeBatch = flag.Int("write-batch", 0, "batch store/changelog writes until commit, capped at this many dirty keys (0 = write-through mirroring)")
 		traceRate  = flag.Float64("trace-sample-rate", 0, "sample roughly this fraction of produced messages into end-to-end span trees (0 = tracing off; see \\trace and EXPLAIN ANALYZE)")
 		batchSize  = flag.Int("batch-size", 0, "vectorized delivery granularity for submitted jobs: messages per columnar block (0 = framework default, -1 = per-message scalar path)")
-		monitorOn  = flag.Bool("monitor", false, "attach the cluster monitor: tail __metrics/__traces into the time-series store, evaluate SLO rules onto __alerts, and enable \\top and \\alerts")
+		monitorOn  = flag.Bool("monitor", false, "attach the cluster monitor: tail __metrics/__traces/__profiles into the time-series and hot-function stores, evaluate SLO rules onto __alerts, and enable \\top, \\alerts and \\profile")
 		mInterval  = flag.Duration("metrics-interval", 0, "per-container metrics snapshot period for submitted jobs (default 100ms when -monitor is on, else off)")
+		profIntv   = flag.Duration("profile-interval", 0, "continuous-profiling capture period for submitted jobs (e.g. 1s; default 1s when -monitor is on, 0 = off)")
+		profWindow = flag.Duration("profile-window", 0, "CPU sampling length within each profile interval (0 = profiler default 200ms)")
 	)
 	flag.Parse()
 
@@ -74,11 +76,21 @@ func main() {
 		fatalf("bad -metrics-interval value %v", *mInterval)
 	}
 	engine.MetricsInterval = *mInterval
+	if *profIntv < 0 || *profWindow < 0 {
+		fatalf("bad -profile-interval/-profile-window (want >= 0)")
+	}
+	engine.ProfileInterval = *profIntv
+	engine.ProfileWindow = *profWindow
 	var mon *monitor.Monitor
 	if *monitorOn {
 		if engine.MetricsInterval == 0 {
 			// The monitor only sees what jobs publish on __metrics.
 			engine.MetricsInterval = 100 * time.Millisecond
+		}
+		if engine.ProfileInterval == 0 {
+			// Continuous profiling rides along so \profile answers without
+			// extra flags; the default duty cycle costs a few percent at most.
+			engine.ProfileInterval = time.Second
 		}
 		runner := engine.Runner
 		var err error
@@ -96,7 +108,7 @@ func main() {
 			fatalf("starting monitor: %v", err)
 		}
 		defer mon.Stop()
-		fmt.Println("cluster monitor attached (\\top for the live overview, \\alerts for SLO state)")
+		fmt.Println("cluster monitor attached (\\top for the live overview, \\alerts for SLO state, \\profile for hot functions)")
 	}
 
 	if *modelPath != "" {
@@ -193,6 +205,12 @@ func command(engine *executor.Engine, mon *monitor.Monitor, cmd string) bool {
 			break
 		}
 		printAlerts(mon)
+	case `\profile`, "!profile":
+		if mon == nil {
+			fmt.Println("\\profile needs the cluster monitor (restart with -monitor)")
+			break
+		}
+		mon.WriteProfile(os.Stdout, 10, time.Minute, time.Now())
 	case "!help":
 		fmt.Println(`  <statement>;              run a SQL statement (SELECT [STREAM], CREATE VIEW, INSERT INTO)
   EXPLAIN <query>;          print the optimized plan
@@ -202,6 +220,7 @@ func command(engine *executor.Engine, mon *monitor.Monitor, cmd string) bool {
   \trace                    dump recent sampled span trees per job (needs -trace-sample-rate > 0)
   \top                      live job overview: throughput, task latency, lag sparklines, slowest operators (needs -monitor)
   \alerts                   firing SLO alerts and the recent transition log (needs -monitor)
+  \profile                  cluster-merged hot functions: CPU flat/cum per job plus top allocators (needs -monitor)
   !quit                     leave the shell`)
 	default:
 		fmt.Printf("unknown command %s (try !help)\n", cmd)

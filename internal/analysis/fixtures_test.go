@@ -29,6 +29,10 @@ func TestTraceGuardFixture(t *testing.T) {
 	checkFixture(t, "traceguard", TraceGuard)
 }
 
+func TestProfileGuardFixture(t *testing.T) {
+	checkFixture(t, "profileguard", ProfileGuard)
+}
+
 func TestLockOrderFixture(t *testing.T) {
 	checkFixture(t, "lockorder", LockOrder)
 }

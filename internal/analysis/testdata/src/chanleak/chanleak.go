@@ -138,5 +138,5 @@ type errorString string
 
 func (e errorString) Error() string { return string(e) }
 
-func sink(int)            {}
-func register(chan int)   {}
+func sink(int)          {}
+func register(chan int) {}

@@ -42,9 +42,9 @@ func sleeps() {
 
 //samzasql:hotpath
 func channelOps(ch chan int, done chan struct{}) int {
-	ch <- 1 // want `channel send blocks inside hot path`
+	ch <- 1   // want `channel send blocks inside hot path`
 	v := <-ch // want `channel receive blocks inside hot path`
-	select { // want `select without default blocks inside hot path`
+	select {  // want `select without default blocks inside hot path`
 	case <-done:
 	case ch <- v:
 	}

@@ -19,6 +19,19 @@ type Report struct {
 	// StoreTuning is the sliding-window cached-versus-baseline micro
 	// comparison (tuples/sec, store traffic, changelog records, speedup).
 	StoreTuning *StoreTuningComparison `json:"store_tuning,omitempty"`
+	// HotFunctions is the cluster-merged CPU hot-function baseline from a
+	// profiled filter run, as flat shares of sampled CPU. bench-compare
+	// diffs a fresh profiled run against it to attribute ratio regressions
+	// to the function whose share grew.
+	HotFunctions []HotFunctionReport `json:"hot_functions,omitempty"`
+}
+
+// HotFunctionReport is one function's share of sampled CPU in a profiled
+// benchmark run.
+type HotFunctionReport struct {
+	Name    string  `json:"name"`
+	FlatPct float64 `json:"flat_pct"`
+	CumPct  float64 `json:"cum_pct"`
 }
 
 // FigureReport is one figure's measured series.

@@ -68,6 +68,14 @@ type Engine struct {
 	// TraceInterval overrides the per-container trace reporter period; 0
 	// uses samza.DefaultTraceInterval whenever sampling is enabled.
 	TraceInterval time.Duration
+	// ProfileInterval, when positive, enables the per-container continuous
+	// profiler on submitted jobs (samza.JobSpec.ProfileInterval): windowed
+	// CPU captures plus heap/goroutine snapshots published on "__profiles",
+	// cluster-merged by the monitor's /profile. 0 keeps profiling fully off.
+	ProfileInterval time.Duration
+	// ProfileWindow is the CPU sampling length within each profile interval
+	// (samza.JobSpec.ProfileWindow); 0 uses profile.DefaultWindow.
+	ProfileWindow time.Duration
 	// BatchSize sets the vectorized delivery granularity of submitted jobs
 	// (samza.JobSpec.BatchSize): how many messages one poll drains into a
 	// columnar block. 0 uses samza.DefaultBatchSize; samza.ScalarBatch (-1)
@@ -233,6 +241,8 @@ func (e *Engine) Submit(ctx context.Context, p *Prepared) (*Job, error) {
 		MetricsInterval: e.MetricsInterval,
 		TraceSampleRate: e.TraceSampleRate,
 		TraceInterval:   e.TraceInterval,
+		ProfileInterval: e.ProfileInterval,
+		ProfileWindow:   e.ProfileWindow,
 		BatchSize:       e.BatchSize,
 		Config: map[string]string{
 			"samzasql.zk.query.path": zkQueryPath(p.JobName),

@@ -1,0 +1,41 @@
+package executor
+
+import (
+	"testing"
+
+	"samzasql/internal/profile"
+	"samzasql/internal/samza"
+)
+
+// TestFilterProcessZeroAllocsWithProfiler pins the acceptance bound for
+// continuous profiling: a constructed-but-idle profiler must not put
+// allocations back on the hot path. Between capture windows the profiler
+// holds no locks and runs no code on the task path — Process must stay at
+// zero allocations with the profiler object live in the process. (During a
+// capture window the runtime's CPU sampler itself costs a few percent; the
+// overhead sweep in EXPERIMENTS.md measures that separately.)
+func TestFilterProcessZeroAllocsWithProfiler(t *testing.T) {
+	prof := profile.New(profile.Config{}, false)
+	if prof.Enabled() {
+		t.Fatal("profiler should be idle")
+	}
+	if _, err := prof.Capture(t.Context()); err == nil {
+		t.Fatal("idle profiler must refuse captures")
+	}
+
+	task, coll, miss, hit := setupFilterTask(t)
+	for name, env := range map[string]samza.IncomingMessageEnvelope{"miss": miss, "hit": hit} {
+		env := env
+		allocs := testing.AllocsPerRun(1000, func() {
+			if err := task.Process(env, task.bound, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s path with idle profiler: %.1f allocs per message, want 0", name, allocs)
+		}
+	}
+	if coll.sent == 0 {
+		t.Fatal("hit path never reached the collector")
+	}
+}

@@ -40,6 +40,8 @@ type Config struct {
 	MetricsTopic string
 	// TraceTopic defaults to samza.DefaultTraceTopic.
 	TraceTopic string
+	// ProfilesTopic defaults to samza.DefaultProfilesTopic.
+	ProfilesTopic string
 	// AlertsTopic defaults to DefaultAlertsTopic.
 	AlertsTopic string
 	// Health, when set, feeds the task-flap rule. Polled every eval tick.
@@ -54,6 +56,9 @@ type Config struct {
 	// RecentTraces is the per-job trace-store size; 0 means
 	// DefaultRecentTraces.
 	RecentTraces int
+	// HotCapacity is the per-container profile-batch ring size; 0 means
+	// DefaultHotCapacity.
+	HotCapacity int
 }
 
 // Monitor tails the telemetry streams into the store and evaluates the
@@ -61,9 +66,11 @@ type Config struct {
 type Monitor struct {
 	cfg    Config
 	store  *Store
+	hot    *HotStore
 	am     *alertManager
 	mtail  *samza.MetricsTailer
 	ttail  *samza.TraceTailer
+	ptail  *samza.ProfilesTailer
 	alerts serde.Serde
 
 	// Monitor self-metrics, pre-bound (never looked up on the ingest path).
@@ -71,6 +78,7 @@ type Monitor struct {
 	snapshotsIn     *metrics.Counter
 	spansIn         *metrics.Counter
 	eventsIn        *metrics.Counter
+	profilesIn      *metrics.Counter
 	alertsPublished *metrics.Counter
 	decodeErrors    *metrics.Counter
 	publishErrors   *metrics.Counter
@@ -87,8 +95,9 @@ type Monitor struct {
 	prevHealth map[flapKey]string
 	flapLog    []flapEvent
 
-	metricsCh chan []*samza.MetricsSnapshotMessage
-	tracesCh  chan []*samza.TraceBatchMessage
+	metricsCh  chan []*samza.MetricsSnapshotMessage
+	tracesCh   chan []*samza.TraceBatchMessage
+	profilesCh chan []*samza.ProfileBatchMessage
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -121,6 +130,9 @@ func Start(cfg Config) (*Monitor, error) {
 	if cfg.TraceTopic == "" {
 		cfg.TraceTopic = samza.DefaultTraceTopic
 	}
+	if cfg.ProfilesTopic == "" {
+		cfg.ProfilesTopic = samza.DefaultProfilesTopic
+	}
 	if cfg.AlertsTopic == "" {
 		cfg.AlertsTopic = DefaultAlertsTopic
 	}
@@ -136,7 +148,10 @@ func Start(cfg Config) (*Monitor, error) {
 	if cfg.RecentTraces <= 0 {
 		cfg.RecentTraces = DefaultRecentTraces
 	}
-	for _, topic := range []string{cfg.MetricsTopic, cfg.TraceTopic, cfg.AlertsTopic} {
+	if cfg.HotCapacity <= 0 {
+		cfg.HotCapacity = DefaultHotCapacity
+	}
+	for _, topic := range []string{cfg.MetricsTopic, cfg.TraceTopic, cfg.ProfilesTopic, cfg.AlertsTopic} {
 		if err := cfg.Broker.EnsureTopic(topic, kafka.TopicConfig{Partitions: 1}); err != nil {
 			return nil, fmt.Errorf("monitor: ensure topic %s: %w", topic, err)
 		}
@@ -154,18 +169,27 @@ func Start(cfg Config) (*Monitor, error) {
 		mtail.Close()
 		return nil, err
 	}
+	ptail, err := samza.NewProfilesTailer(cfg.Broker, cfg.ProfilesTopic)
+	if err != nil {
+		mtail.Close()
+		ttail.Close()
+		return nil, err
+	}
 	reg := metrics.NewRegistry()
 	m := &Monitor{
 		cfg:             cfg,
 		store:           NewStore(cfg.Capacity),
+		hot:             NewHotStore(cfg.HotCapacity),
 		am:              newAlertManager(),
 		mtail:           mtail,
 		ttail:           ttail,
+		ptail:           ptail,
 		alerts:          alertSerde,
 		reg:             reg,
 		snapshotsIn:     reg.Counter("monitor.snapshots-ingested"),
 		spansIn:         reg.Counter("monitor.spans-ingested"),
 		eventsIn:        reg.Counter("monitor.events-ingested"),
+		profilesIn:      reg.Counter("monitor.profiles-ingested"),
 		alertsPublished: reg.Counter("monitor.alerts-published"),
 		decodeErrors:    reg.Counter("monitor.decode-errors"),
 		publishErrors:   reg.Counter("monitor.publish-errors"),
@@ -173,12 +197,14 @@ func Start(cfg Config) (*Monitor, error) {
 		prevHealth:      map[flapKey]string{},
 		metricsCh:       make(chan []*samza.MetricsSnapshotMessage, 16),
 		tracesCh:        make(chan []*samza.TraceBatchMessage, 16),
+		profilesCh:      make(chan []*samza.ProfileBatchMessage, 16),
 	}
 	// The tailers' own lag gauges land in the monitor registry, which the
 	// run loop files into the store each tick — the pipeline observes
 	// itself falling behind.
 	mtail.BindLag(reg)
 	ttail.BindLag(reg)
+	ptail.BindLag(reg)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	m.cancel = cancel
@@ -195,6 +221,11 @@ func Start(cfg Config) (*Monitor, error) {
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
+		m.tailProfiles(ctx)
+	}()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
 		m.run(ctx)
 	}()
 	return m, nil
@@ -206,6 +237,7 @@ func (m *Monitor) Stop() {
 	m.wg.Wait()
 	m.mtail.Close()
 	m.ttail.Close()
+	m.ptail.Close()
 }
 
 // Store exposes the time-series store for queries.
@@ -289,6 +321,27 @@ func (m *Monitor) tailTraces(ctx context.Context) {
 	}
 }
 
+// tailProfiles is tailMetrics for the profiles stream.
+func (m *Monitor) tailProfiles(ctx context.Context) {
+	for {
+		batch, err := m.ptail.Poll(ctx, 256)
+		if err != nil && ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			m.decodeErrors.Inc()
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		select {
+		case m.profilesCh <- batch:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
 // run is the single writer: it ingests batches from both pollers and
 // evaluates the rule set every EvalInterval.
 func (m *Monitor) run(ctx context.Context) {
@@ -302,6 +355,8 @@ func (m *Monitor) run(ctx context.Context) {
 			m.ingestMetrics(batch)
 		case batch := <-m.tracesCh:
 			m.ingestTraces(batch)
+		case batch := <-m.profilesCh:
+			m.ingestProfiles(batch)
 		case <-tick.C:
 			m.evaluate(time.Now())
 		}
@@ -313,6 +368,14 @@ func (m *Monitor) ingestMetrics(batch []*samza.MetricsSnapshotMessage) {
 	for _, msg := range batch {
 		m.store.IngestSnapshot(msg.Job, msg.Container, msg.TimeMillis, msg.Metrics, msg.Final)
 		m.snapshotsIn.Inc()
+	}
+}
+
+// ingestProfiles files profile batches into the hot-function store.
+func (m *Monitor) ingestProfiles(batch []*samza.ProfileBatchMessage) {
+	for _, msg := range batch {
+		m.hot.Ingest(msg)
+		m.profilesIn.Inc()
 	}
 }
 
@@ -359,6 +422,7 @@ func (m *Monitor) evaluate(now time.Time) {
 	// refresh failure just leaves the gauge at its last value.
 	_, _ = m.mtail.UpdateLag()
 	_, _ = m.ttail.UpdateLag()
+	_, _ = m.ptail.UpdateLag()
 	m.store.IngestSnapshot(MonitorJob, -1, now.UnixMilli(), m.reg.Snapshot(), false)
 
 	if m.cfg.Health != nil {

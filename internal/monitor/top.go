@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"samzasql/internal/metrics"
+	"samzasql/internal/profile"
 	"samzasql/internal/trace"
 )
 
@@ -87,6 +88,7 @@ func (m *Monitor) WriteTop(w io.Writer, now time.Time) {
 		lag := m.store.GaugeSum(job, DefaultLagPrefix)
 		fmt.Fprintf(w, "job %-24s %14s   backlog %d\n", job, metrics.FormatThroughput(rate), lag)
 
+		m.writeRuntimeTable(w, job)
 		m.writeTaskTable(w, job, from)
 		m.writeLagSparklines(w, job, from)
 		m.writeOperatorTable(w, job, now)
@@ -102,6 +104,35 @@ func (m *Monitor) WriteTop(w io.Writer, now time.Time) {
 		}
 	} else {
 		fmt.Fprintln(w, "alerts: none firing")
+	}
+}
+
+// writeRuntimeTable shows the per-container Go runtime vitals published by
+// the runtime/metrics collector: live goroutines, heap in use, and the
+// last observed GC pause. Absent series (jobs without MetricsInterval)
+// print nothing.
+func (m *Monitor) writeRuntimeTable(w io.Writer, job string) {
+	containers := map[int]bool{}
+	for _, info := range m.store.Series() {
+		if info.Key.Job == job && info.Key.Name == profile.RuntimeGoroutines {
+			containers[info.Key.Container] = true
+		}
+	}
+	if len(containers) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(containers))
+	for c := range containers {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
+	fmt.Fprintf(w, "  %-28s %12s %12s %12s\n", "container runtime", "goroutines", "heap-MiB", "gc-pause-us")
+	for _, c := range ids {
+		gor, _ := m.store.Latest(SeriesKey{Job: job, Container: c, Name: profile.RuntimeGoroutines})
+		heap, _ := m.store.Latest(SeriesKey{Job: job, Container: c, Name: profile.RuntimeHeapLive})
+		pause, _ := m.store.Latest(SeriesKey{Job: job, Container: c, Name: profile.RuntimeGCLastPause})
+		fmt.Fprintf(w, "  container %-18d %12d %12.1f %12.1f\n",
+			c, gor.Value, float64(heap.Value)/(1<<20), float64(pause.Value)/1e3)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"samzasql/internal/kafka"
 	"samzasql/internal/kv"
 	"samzasql/internal/metrics"
+	"samzasql/internal/profile"
 	"samzasql/internal/trace"
 )
 
@@ -412,8 +413,28 @@ func (c *Container) Run(ctx context.Context) error {
 		if err := c.broker.EnsureTopic(topic, kafka.TopicConfig{Partitions: 1}); err != nil {
 			return fmt.Errorf("samza: metrics topic: %w", err)
 		}
+		// The runtime/metrics collector rides the snapshot reporter's
+		// refresh hook: goroutine count, live heap, GC pauses and scheduler
+		// latencies land in the ordinary registry once per publish, so they
+		// travel __metrics with no extra plumbing and zero hot-path cost.
+		rtc := profile.NewCollector(c.Metrics)
 		rep := NewMetricsSnapshotReporter(c.broker, c.job.Name, c.ID, topic,
-			c.job.MetricsInterval, c.Metrics, func() { c.UpdateLags() })
+			c.job.MetricsInterval, c.Metrics, func() {
+				c.UpdateLags()
+				rtc.Refresh()
+			})
+		startReporter(rep.Run)
+	}
+	if c.job.ProfileInterval > 0 {
+		topic := c.job.ProfilesTopicName()
+		if err := c.broker.EnsureTopic(topic, kafka.TopicConfig{Partitions: 1}); err != nil {
+			return fmt.Errorf("samza: profiles topic: %w", err)
+		}
+		prof := profile.New(profile.Config{
+			Interval: c.job.ProfileInterval,
+			Window:   c.job.ProfileWindow,
+		}, true)
+		rep := NewProfileReporter(c.broker, c.job.Name, c.ID, topic, prof)
 		startReporter(rep.Run)
 	}
 	if interval := c.traceInterval(); interval > 0 {

@@ -99,6 +99,20 @@ type JobSpec struct {
 	// TraceTopic overrides the trace stream name; empty uses
 	// DefaultTraceTopic.
 	TraceTopic string
+	// ProfileInterval, when positive, runs a continuous ProfileReporter per
+	// container: every interval it captures a short windowed CPU profile
+	// plus heap-delta/goroutine snapshots, folds them per function, and
+	// publishes the batch to the profiles stream (plus a final CPU-less
+	// flush at stop). 0 disables continuous profiling entirely; the hot
+	// path then pays nothing.
+	ProfileInterval time.Duration
+	// ProfileWindow is the CPU sampling length within each interval; 0
+	// uses profile.DefaultWindow, values above ProfileInterval clamp to it
+	// (100% duty — the aggressive mode of the overhead sweep).
+	ProfileWindow time.Duration
+	// ProfilesTopic overrides the profiles stream name; empty uses
+	// DefaultProfilesTopic.
+	ProfilesTopic string
 	// BatchSize caps how many messages one poll delivers to a task and, for
 	// tasks implementing BatchedStreamTask, selects vectorized delivery:
 	// whole batches per ProcessBatch call. 0 (the default) uses
@@ -127,6 +141,14 @@ func (j *JobSpec) TraceTopicName() string {
 	return DefaultTraceTopic
 }
 
+// ProfilesTopicName resolves the profiles stream this job publishes to.
+func (j *JobSpec) ProfilesTopicName() string {
+	if j.ProfilesTopic != "" {
+		return j.ProfilesTopic
+	}
+	return DefaultProfilesTopic
+}
+
 // Validate checks the spec for structural problems.
 func (j *JobSpec) Validate() error {
 	if j.Name == "" {
@@ -146,6 +168,9 @@ func (j *JobSpec) Validate() error {
 	}
 	if j.TraceSampleRate < 0 || j.TraceSampleRate > 1 {
 		return fmt.Errorf("samza: job %q trace sample rate %v outside [0, 1]", j.Name, j.TraceSampleRate)
+	}
+	if j.ProfileInterval < 0 || j.ProfileWindow < 0 {
+		return fmt.Errorf("samza: job %q has negative profile interval/window", j.Name)
 	}
 	if j.BatchSize < ScalarBatch {
 		return fmt.Errorf("samza: job %q has invalid batch size %d (want >= %d)", j.Name, j.BatchSize, ScalarBatch)
